@@ -1,0 +1,31 @@
+//! Fig. 3 — Memory bandwidth of each application at 1, 4, and 8 threads.
+
+use cochar_bench::harness;
+use cochar_colocation::bandwidth::solo_bandwidth;
+use cochar_colocation::report::table::{f1, Table};
+
+fn main() {
+    harness::banner("Fig. 3", "solo memory bandwidth per application (GB/s)");
+    let study = harness::study();
+    let peak = study.config().peak_bandwidth_gbs();
+
+    let mut t = Table::new(vec!["app", "1t GB/s", "4t GB/s", "8t GB/s"]);
+    let mut names: Vec<&str> = harness::ALL_APPS.to_vec();
+    names.push("stream");
+    names.push("bandit");
+    for name in names {
+        let p = solo_bandwidth(&study, name, &[1, 4, 8]);
+        t.row(vec![
+            name.to_string(),
+            f1(p.by_threads[0].1),
+            f1(p.by_threads[1].1),
+            f1(p.by_threads[2].1),
+        ]);
+        eprint!(".");
+    }
+    eprintln!();
+    println!("{}", t.render());
+    println!("practical peak: {peak:.1} GB/s");
+    println!("paper 4t anchors: stream 24.5, fotonik3d 18.4, IRSmk 18.1, CIFAR 18.0,");
+    println!("G-CC 17.8, bandit 18.0; blackscholes/swaptions/nab/deepsjeng near zero.");
+}

@@ -1,0 +1,84 @@
+//! Fig. 5 — Normalized execution time of co-running two applications
+//! (foreground on the y-axis, background on the x-axis).
+//!
+//! Defaults to the 12-app quick subset (144 pairs, a few minutes on one
+//! core); set `COCHAR_APPS=all` for the paper's full 25 x 25 = 625-pair
+//! matrix.
+
+use cochar_bench::harness;
+use cochar_colocation::report::heat::ascii_heatmap;
+use cochar_colocation::report::table::{f2, Table};
+use cochar_colocation::{Heatmap, PairClass};
+
+fn main() {
+    harness::banner("Fig. 5", "co-running heatmap (normalized foreground time)");
+    let study = harness::study();
+    let apps = if std::env::var("COCHAR_APPS").is_err() {
+        eprintln!("note: using 12-app quick subset; COCHAR_APPS=all for the full 625 pairs");
+        harness::QUICK_APPS.to_vec()
+    } else {
+        harness::apps()
+    };
+
+    let (heat, secs) = harness::timed(|| Heatmap::compute(&study, &apps));
+    println!("{}", ascii_heatmap(&heat));
+
+    let (h, vo, bv) = heat.class_counts();
+    println!("relationships over unordered pairs: Harmony {h}, Victim-Offender {vo}, Both-Victim {bv}");
+    println!("({} ordered pairs simulated in {secs:.0}s)\n", apps.len() * apps.len());
+
+    // Notable pairs called out in the paper.
+    let mut t = Table::new(vec!["pair", "fg slow", "rev slow", "class", "paper"]);
+    let notable: [(&str, &str, &str); 4] = [
+        ("G-CC", "CIFAR", "1.55/1.25 Victim-Offender"),
+        ("G-CC", "fotonik3d", "1.98/1.46 Victim-Offender"),
+        ("CIFAR", "fotonik3d", "1.52/1.54 Both-Victim"),
+        ("P-PR", "fotonik3d", "Victim-Offender"),
+    ];
+    for (a, b, paper) in notable {
+        if let (Some(i), Some(j)) = (heat.index(a), heat.index(b)) {
+            t.row(vec![
+                format!("{a} vs {b}"),
+                f2(heat.cell(i, j)),
+                f2(heat.cell(j, i)),
+                heat.class(i, j).label().to_string(),
+                paper.to_string(),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+
+    // Offender/victim ranking.
+    let mut offenders: Vec<(String, f64)> = (0..heat.len())
+        .map(|j| (heat.names[j].clone(), heat.offender_score(j)))
+        .collect();
+    offenders.sort_by(|a, b| b.1.total_cmp(&a.1));
+    println!(
+        "top offenders: {}",
+        offenders
+            .iter()
+            .take(5)
+            .map(|(n, s)| format!("{n} ({s:.2}x)"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let mut victims: Vec<(String, f64)> = (0..heat.len())
+        .map(|i| (heat.names[i].clone(), heat.victim_score(i)))
+        .collect();
+    victims.sort_by(|a, b| b.1.total_cmp(&a.1));
+    println!(
+        "top victims:   {}",
+        victims
+            .iter()
+            .take(5)
+            .map(|(n, s)| format!("{n} ({s:.2}x)"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let harmless = (0..heat.len())
+        .filter(|&j| heat.offender_score(j) < 1.10)
+        .map(|j| heat.names[j].clone())
+        .collect::<Vec<_>>();
+    println!("harmless backgrounds (<10% impact on any fg): {}", harmless.join(", "));
+    let _ = PairClass::Harmony; // keep the variant names in scope for docs
+}

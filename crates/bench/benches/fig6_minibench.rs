@@ -1,0 +1,37 @@
+//! Fig. 6 — Normalized execution time of each application co-running
+//! with the Bandit (a) and Stream (b) mini-benchmarks.
+
+use cochar_bench::harness;
+use cochar_colocation::report::table::{f2, Table};
+
+fn main() {
+    harness::banner("Fig. 6", "co-running with the Bandit / Stream mini-benchmarks");
+    let study = harness::study();
+
+    let mut t = Table::new(vec!["app", "(a) vs bandit", "(b) vs stream"]);
+    let mut bandit_sum = 0.0;
+    let mut stream_sum = 0.0;
+    let mut gemini_stream = Vec::new();
+    let apps = harness::apps();
+    for name in &apps {
+        let vb = study.pair(name, "bandit").fg_slowdown;
+        let vs = study.pair(name, "stream").fg_slowdown;
+        bandit_sum += vb;
+        stream_sum += vs;
+        if name.starts_with("G-") {
+            gemini_stream.push(vs);
+        }
+        t.row(vec![name.to_string(), f2(vb), f2(vs)]);
+        eprint!(".");
+    }
+    eprintln!();
+    println!("{}", t.render());
+
+    let n = apps.len() as f64;
+    println!("average slowdown vs bandit: {:.2}x (paper: 1.0-1.3x, avg speedup 0.77-1.0x)", bandit_sum / n);
+    println!("average slowdown vs stream: {:.2}x (paper: avg speedup 0.61x => ~1.6x)", stream_sum / n);
+    if !gemini_stream.is_empty() {
+        let g = gemini_stream.iter().sum::<f64>() / gemini_stream.len() as f64;
+        println!("GeminiGraph avg vs stream: {g:.2}x (paper: ~2.08x)");
+    }
+}

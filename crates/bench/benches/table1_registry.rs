@@ -1,0 +1,41 @@
+//! Table I — Applications chosen for each application suite.
+
+use cochar_bench::harness;
+use cochar_colocation::report::table::Table;
+
+fn main() {
+    harness::banner("Table I", "applications chosen for each application suite");
+    let study = harness::study();
+    let registry = study.registry();
+
+    let mut t = Table::new(vec!["Benchmark Suite", "Benchmarks"]);
+    for suite in [
+        "GeminiGraph",
+        "PowerGraph",
+        "CNTK",
+        "PARSEC",
+        "HPC",
+        "SPEC CPU2017",
+        "mini-benchmarks",
+    ] {
+        let names: Vec<&str> = registry
+            .all()
+            .iter()
+            .filter(|s| s.suite == suite)
+            .map(|s| s.name)
+            .collect();
+        t.row(vec![suite.to_string(), names.join(", ")]);
+    }
+    println!("{}", t.render());
+
+    let mut t = Table::new(vec!["app", "suite", "model"]);
+    for s in registry.all() {
+        t.row(vec![s.name, s.suite, s.description]);
+    }
+    println!("{}", t.render());
+    println!(
+        "{} applications + {} mini-benchmarks",
+        registry.applications().len(),
+        registry.minis().len()
+    );
+}

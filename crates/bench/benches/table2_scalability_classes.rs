@@ -1,0 +1,46 @@
+//! Table II — Thread scalability characterization result.
+//!
+//! Buckets every application into Low/Medium/High from the measured
+//! 1..8-thread sweep and prints the bucket next to the paper's.
+
+use cochar_bench::harness;
+use cochar_colocation::report::table::{f2, Table};
+use cochar_colocation::scalability::ScalabilityCurve;
+
+/// The paper's Table II assignments.
+fn paper_class(name: &str) -> &'static str {
+    match name {
+        "P-SSSP" | "ATIS" | "AMG2006" => "Low",
+        "G-SSSP" | "CIFAR" | "LSTM" | "streamcluster" | "blackscholes" | "fotonik3d"
+        | "deepsjeng" | "xalancbmk" | "IRSmk" => "Medium",
+        _ => "High",
+    }
+}
+
+fn main() {
+    harness::banner("Table II", "thread scalability characterization");
+    let study = harness::study();
+
+    let mut t = Table::new(vec!["app", "max speedup", "measured", "paper", "match"]);
+    let mut matches = 0;
+    let mut total = 0;
+    for name in harness::ALL_APPS {
+        let curve = ScalabilityCurve::compute(&study, name, 8);
+        let measured = curve.class().label();
+        let paper = paper_class(name);
+        let ok = measured == paper;
+        matches += usize::from(ok);
+        total += 1;
+        t.row(vec![
+            name.to_string(),
+            f2(curve.max_speedup()),
+            measured.to_string(),
+            paper.to_string(),
+            if ok { "yes" } else { "NO" }.to_string(),
+        ]);
+        eprint!(".");
+    }
+    eprintln!();
+    println!("{}", t.render());
+    println!("bucket agreement with the paper: {matches}/{total}");
+}

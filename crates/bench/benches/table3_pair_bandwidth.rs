@@ -1,0 +1,49 @@
+//! Table III — Bandwidth consumption of specific co-running pairs.
+//!
+//! For each problematic pair: the pair's combined GB/s next to each
+//! member's solo GB/s. The paper's point: the pair total is always below
+//! the sum of the solos — the controller saturates and everyone loses.
+
+use cochar_bench::harness;
+use cochar_colocation::bandwidth::pair_bandwidth;
+use cochar_colocation::report::table::{f1, Table};
+
+fn main() {
+    harness::banner("Table III", "bandwidth consumption of specific co-running pairs");
+    let study = harness::study();
+
+    // The paper's five pairs (A foreground, B background).
+    let pairs = [
+        ("CIFAR", "fotonik3d", "18.0 (7.3 / 18.4)"),
+        ("IRSmk", "fotonik3d", "24.5 (18.1 / 18.4)"),
+        ("G-CC", "fotonik3d", "18.6 (17.8 / 18.4)"),
+        ("G-CC", "IRSmk", "26.3 (17.8 / 18.1)"),
+        ("G-CC", "CIFAR", "18.6 (17.8 / 18.0)"),
+    ];
+    let mut t = Table::new(vec![
+        "pair (A with B)",
+        "pair GB/s",
+        "A solo",
+        "B solo",
+        "lost to contention",
+        "paper: pair (A / B)",
+    ]);
+    for (a, b, paper) in pairs {
+        let pb = pair_bandwidth(&study, a, b);
+        assert!(
+            pb.pair_gbs < pb.a_solo_gbs + pb.b_solo_gbs,
+            "pair bandwidth must be subadditive"
+        );
+        t.row(vec![
+            format!("{a} with {b}"),
+            f1(pb.pair_gbs),
+            f1(pb.a_solo_gbs),
+            f1(pb.b_solo_gbs),
+            f1(pb.contention_loss()),
+            paper.to_string(),
+        ]);
+        eprint!(".");
+    }
+    eprintln!();
+    println!("{}", t.render());
+}

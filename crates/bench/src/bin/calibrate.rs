@@ -1,0 +1,41 @@
+//! Calibration sheet: solo profile of every workload at 4 threads.
+//!
+//! Prints runtime, bandwidth, CPI, LLC MPKI, L2_PCP, prefetch sensitivity
+//! and the 8-thread speedup next to the paper's qualitative targets.
+//! Used while tuning the workload models; kept as a diagnostic tool.
+
+use cochar_bench::harness;
+use cochar_colocation::report::table::{f1, f2, pct, Table};
+use cochar_colocation::scalability::ScalabilityCurve;
+use cochar_colocation::{prefetcher, Study};
+
+fn main() {
+    harness::banner("calibrate", "solo characterization of all workloads");
+    let study: Study = harness::study();
+    let mut t = Table::new(vec![
+        "app", "4t Mcycles", "GB/s", "CPI", "MPKI", "L2_PCP", "pf-slow", "spd8", "class",
+    ]);
+    let mut names: Vec<&str> = harness::ALL_APPS.to_vec();
+    names.push("stream");
+    names.push("bandit");
+    for name in names {
+        let solo = study.solo(name);
+        let p = &solo.profile;
+        let sens = prefetcher::sensitivity(&study, name);
+        let curve = ScalabilityCurve::compute(&study, name, 8);
+        t.row(vec![
+            name.to_string(),
+            f1(solo.elapsed_cycles as f64 / 1e6),
+            f1(p.bandwidth_gbs),
+            f2(p.cpi),
+            f1(p.llc_mpki),
+            pct(p.l2_pcp),
+            f2(sens.slowdown),
+            f2(curve.max_speedup()),
+            curve.class().label().to_string(),
+        ]);
+        eprint!(".");
+    }
+    eprintln!();
+    println!("{}", t.render());
+}

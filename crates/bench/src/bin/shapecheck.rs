@@ -1,0 +1,71 @@
+//! Co-running shape check: the paper's headline interference numbers.
+//!
+//! Prints measured pair slowdowns and counter movements next to the
+//! published values. Diagnostic tool used while tuning; the full
+//! regeneration lives in the per-figure bench targets.
+
+use cochar_bench::harness;
+use cochar_colocation::report::table::{f2, Table};
+use cochar_colocation::Study;
+
+fn main() {
+    harness::banner("shapecheck", "co-running interference vs paper headline numbers");
+    let study: Study = harness::study();
+
+    let mut t = Table::new(vec!["pair (fg+bg)", "fg slow", "bg-dir slow", "paper"]);
+    let pairs: [(&str, &str, &str); 7] = [
+        ("G-CC", "fotonik3d", "1.98 / 1.46"),
+        ("G-CC", "CIFAR", "1.55 / 1.25"),
+        ("CIFAR", "fotonik3d", "1.52 / 1.54"),
+        ("P-PR", "fotonik3d", ">=1.5 / <1.5"),
+        ("IRSmk", "fotonik3d", ">=1.5"),
+        ("G-CC", "swaptions", "<1.10"),
+        ("fotonik3d", "blackscholes", "<1.10"),
+    ];
+    for (a, b, paper) in pairs {
+        let ab = study.pair(a, b).fg_slowdown;
+        let ba = study.pair(b, a).fg_slowdown;
+        t.row(vec![format!("{a} + {b}"), f2(ab), f2(ba), paper.to_string()]);
+        eprint!(".");
+    }
+    eprintln!();
+    println!("{}", t.render());
+
+    // Fig. 6: mini-benchmark backgrounds.
+    let mut t = Table::new(vec!["fg app", "vs bandit", "vs stream", "paper"]);
+    for (name, paper) in [
+        ("G-PR", "bandit<=1.3, stream~2.1"),
+        ("G-CC", "bandit<=1.3, stream~2.1"),
+        ("P-PR", "bandit~1.08, stream~2.1"),
+        ("streamcluster", "bandit~1.21, stream high"),
+        ("fotonik3d", "bandit~1.27, stream high"),
+        ("blackscholes", "~1.0, ~1.0"),
+        ("swaptions", "~1.0, ~1.0"),
+    ] {
+        let vb = study.pair(name, "bandit").fg_slowdown;
+        let vs = study.pair(name, "stream").fg_slowdown;
+        t.row(vec![name.to_string(), f2(vb), f2(vs), paper.to_string()]);
+        eprint!(".");
+    }
+    eprintln!();
+    println!("{}", t.render());
+
+    // Fig. 7: Gemini counters under Stream.
+    let mut t = Table::new(vec!["app", "CPI x", "MPKI x", "LL x", "L2_PCP co", "paper"]);
+    for name in ["G-PR", "G-BFS", "G-BC", "G-SSSP", "G-CC"] {
+        let solo = study.solo(name);
+        let pair = study.pair(name, "stream");
+        let d = pair.fg.relative_to(&solo.profile);
+        t.row(vec![
+            name.to_string(),
+            f2(d.cpi),
+            f2(d.llc_mpki),
+            f2(d.ll),
+            format!("{:.0}%", pair.fg.l2_pcp * 100.0),
+            "CPI>2x MPKI~2.6x LL>2x PCP<=93%".to_string(),
+        ]);
+        eprint!(".");
+    }
+    eprintln!();
+    println!("{}", t.render());
+}

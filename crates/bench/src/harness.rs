@@ -1,0 +1,118 @@
+//! Shared scaffolding for the per-table/per-figure bench targets.
+//!
+//! Environment knobs (all optional):
+//!
+//! * `COCHAR_MACHINE` — `bench` (default), `scaled`, or `paper`.
+//! * `COCHAR_WORK` — work multiplier (default 1.0); lower = faster runs.
+//! * `COCHAR_APPS` — `all` (default) or `quick` (a 12-app cross-domain
+//!   subset for smoke-level sweeps).
+//! * `COCHAR_TRIALS` — trials per measurement (default 1; paper uses 3).
+//! * `COCHAR_THREADS` — threads per application (default 4).
+
+use std::sync::Arc;
+
+use cochar_colocation::Study;
+use cochar_machine::MachineConfig;
+use cochar_workloads::{Registry, Scale};
+
+/// The 25 applications in Table I order (heatmap axes).
+pub const ALL_APPS: [&str; 25] = [
+    "G-PR",
+    "G-BFS",
+    "G-BC",
+    "G-SSSP",
+    "G-CC",
+    "P-PR",
+    "P-SSSP",
+    "P-CC",
+    "CIFAR",
+    "MNIST",
+    "LSTM",
+    "ATIS",
+    "blackscholes",
+    "freqmine",
+    "swaptions",
+    "streamcluster",
+    "mcf",
+    "fotonik3d",
+    "deepsjeng",
+    "nab",
+    "xalancbmk",
+    "cactuBSSN",
+    "lulesh",
+    "IRSmk",
+    "AMG2006",
+];
+
+/// A cross-domain 12-app subset for quick sweeps.
+pub const QUICK_APPS: [&str; 12] = [
+    "G-PR",
+    "G-CC",
+    "G-SSSP",
+    "P-PR",
+    "CIFAR",
+    "ATIS",
+    "blackscholes",
+    "streamcluster",
+    "mcf",
+    "fotonik3d",
+    "IRSmk",
+    "AMG2006",
+];
+
+fn env(name: &str) -> Option<String> {
+    std::env::var(name).ok().filter(|s| !s.is_empty())
+}
+
+/// Machine selected by `COCHAR_MACHINE`.
+pub fn machine_config() -> MachineConfig {
+    match env("COCHAR_MACHINE").as_deref() {
+        Some("paper") => MachineConfig::paper(),
+        Some("scaled") => MachineConfig::scaled(),
+        None | Some("bench") => MachineConfig::bench(),
+        Some(other) => panic!("unknown COCHAR_MACHINE {other:?} (bench|scaled|paper)"),
+    }
+}
+
+/// Builds the default study from the environment knobs.
+pub fn study() -> Study {
+    let cfg = machine_config();
+    let work: f64 = env("COCHAR_WORK").map(|w| w.parse().expect("COCHAR_WORK")).unwrap_or(1.0);
+    let scale = Scale::for_config(&cfg).with_work(work);
+    let registry = Arc::new(Registry::new(scale));
+    let trials: u32 =
+        env("COCHAR_TRIALS").map(|t| t.parse().expect("COCHAR_TRIALS")).unwrap_or(1);
+    let threads: usize =
+        env("COCHAR_THREADS").map(|t| t.parse().expect("COCHAR_THREADS")).unwrap_or(4);
+    Study::new(cfg, registry).with_trials(trials).with_threads(threads)
+}
+
+/// Application list selected by `COCHAR_APPS`.
+pub fn apps() -> Vec<&'static str> {
+    match env("COCHAR_APPS").as_deref() {
+        Some("quick") => QUICK_APPS.to_vec(),
+        None | Some("all") => ALL_APPS.to_vec(),
+        Some(other) => panic!("unknown COCHAR_APPS {other:?} (all|quick)"),
+    }
+}
+
+/// Prints the standard experiment banner.
+pub fn banner(id: &str, what: &str) {
+    let cfg = machine_config();
+    println!("== {id}: {what}");
+    println!(
+        "   machine: {} cores, LLC {} KiB, peak {:.1} GB/s ({})",
+        cfg.cores,
+        cfg.llc.bytes / 1024,
+        cfg.peak_bandwidth_gbs(),
+        env("COCHAR_MACHINE").unwrap_or_else(|| "bench".into()),
+    );
+    println!();
+}
+
+/// Wall-clock helper for reporting sweep costs.
+pub fn timed<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let t0 = std::time::Instant::now();
+    let r = f();
+    (r, t0.elapsed().as_secs_f64())
+}

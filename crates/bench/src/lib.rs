@@ -1,0 +1,7 @@
+//! # cochar-bench
+//!
+//! Benchmark harnesses: one target per table and figure of the paper
+//! (see `benches/`), plus criterion micro-benchmarks of the substrate.
+//! Shared scaffolding lives in [`harness`].
+
+pub mod harness;

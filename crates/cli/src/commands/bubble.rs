@@ -1,0 +1,22 @@
+//! `cochar bubble <app>`
+
+use cochar_colocation::bubble::BubbleCurve;
+use cochar_colocation::Study;
+
+use crate::opts::Opts;
+
+pub fn run(study: &Study, opts: &Opts) -> Result<(), String> {
+    let name = opts.pos(0, "application name")?;
+    if study.registry().get(name).is_none() {
+        return Err(format!("unknown application {name:?}"));
+    }
+    let curve = BubbleCurve::measure(study, name);
+    println!("{name}: slowdown vs background memory pressure (Bubble-Up curve)");
+    let max = curve.max_slowdown();
+    for (p, s) in curve.pressure_gbs.iter().zip(&curve.slowdown) {
+        let bar = "#".repeat(((s - 1.0) / (max - 1.0).max(0.01) * 40.0) as usize);
+        println!("  {p:>5.1} GB/s  {s:>5.2}x  {bar}");
+    }
+    println!("peak sensitivity: {max:.2}x");
+    Ok(())
+}

@@ -1,0 +1,24 @@
+//! `cochar heatmap <apps...> [--csv FILE]`
+
+use cochar_colocation::report::heat::ascii_heatmap;
+use cochar_colocation::{Heatmap, Study};
+
+use crate::commands::maybe_write_csv;
+use crate::opts::Opts;
+
+pub fn run(study: &Study, opts: &Opts) -> Result<(), String> {
+    if opts.positional.len() < 2 {
+        return Err("need at least two applications".into());
+    }
+    let names: Vec<&str> = opts.positional.iter().map(|s| s.as_str()).collect();
+    for n in &names {
+        if study.registry().get(n).is_none() {
+            return Err(format!("unknown application {n:?}; try `cochar list`"));
+        }
+    }
+    let heat = Heatmap::compute(study, &names);
+    println!("{}", ascii_heatmap(&heat));
+    let (h, vo, bv) = heat.class_counts();
+    println!("Harmony {h}, Victim-Offender {vo}, Both-Victim {bv} (unordered pairs)");
+    maybe_write_csv(opts, &heat.to_csv())
+}

@@ -1,0 +1,19 @@
+//! `cochar list`
+
+use cochar_colocation::report::table::Table;
+use cochar_colocation::Study;
+
+pub fn run(study: &Study) -> Result<(), String> {
+    let mut t = Table::new(vec!["app", "suite", "model"]);
+    for s in study.registry().all() {
+        t.row(vec![s.name, s.suite, s.description]);
+    }
+    println!("{}", t.render());
+    println!(
+        "machine: {} cores, LLC {} KiB, peak {:.1} GB/s",
+        study.config().cores,
+        study.config().llc.bytes / 1024,
+        study.config().peak_bandwidth_gbs()
+    );
+    Ok(())
+}

@@ -1,0 +1,38 @@
+//! `cochar pair <fg> <bg>`
+
+use cochar_colocation::{classify, Study};
+
+use crate::commands::profile_table;
+use crate::opts::Opts;
+
+pub fn run(study: &Study, opts: &Opts) -> Result<(), String> {
+    let fg = opts.pos(0, "foreground application")?;
+    let bg = opts.pos(1, "background application")?;
+    for n in [fg, bg] {
+        if study.registry().get(n).is_none() {
+            return Err(format!("unknown application {n:?}; try `cochar list`"));
+        }
+    }
+    let solo = study.solo(fg);
+    let pair = study.pair(fg, bg);
+    println!("{fg} (foreground) vs {bg} (looping background):\n");
+    println!(
+        "{}",
+        profile_table(&[
+            (&format!("{fg} solo"), &solo.profile),
+            (&format!("{fg} co-run"), &pair.fg),
+            (&format!("{bg} (bg)"), &pair.bg),
+        ])
+    );
+    println!("normalized {fg} runtime: {:.2}x", pair.fg_slowdown);
+    if pair.truncated {
+        println!("warning: run hit the cycle cap before the foreground finished");
+    }
+    let rev = study.pair(bg, fg);
+    println!(
+        "reverse direction ({bg} fg): {:.2}x  =>  relationship: {}",
+        rev.fg_slowdown,
+        classify(pair.fg_slowdown, rev.fg_slowdown).label()
+    );
+    Ok(())
+}

@@ -1,0 +1,27 @@
+//! `cochar prefetch <app> [--breakdown]`
+
+use cochar_colocation::prefetcher::{per_prefetcher_breakdown, sensitivity};
+use cochar_colocation::Study;
+
+use crate::opts::Opts;
+
+pub fn run(study: &Study, opts: &Opts) -> Result<(), String> {
+    let name = opts.pos(0, "application name")?;
+    if study.registry().get(name).is_none() {
+        return Err(format!("unknown application {name:?}"));
+    }
+    let s = sensitivity(study, name);
+    println!(
+        "{name}: all prefetchers off costs {:.2}x ({:.1} -> {:.1} Mcycles)",
+        s.slowdown,
+        s.on_cycles as f64 / 1e6,
+        s.off_cycles as f64 / 1e6
+    );
+    if opts.switch("breakdown") {
+        println!("per-prefetcher impact (disable one at a time):");
+        for (which, slow) in per_prefetcher_breakdown(study, name) {
+            println!("  {which:<18} {slow:.2}x");
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,37 @@
+//! `cochar scalability <app> [--max-threads N]`
+
+use cochar_colocation::report::table::{f2, Table};
+use cochar_colocation::{ScalabilityCurve, Study};
+
+use crate::opts::Opts;
+
+pub fn run(study: &Study, opts: &Opts) -> Result<(), String> {
+    let name = opts.pos(0, "application name")?;
+    if study.registry().get(name).is_none() {
+        return Err(format!("unknown application {name:?}"));
+    }
+    let max: usize = opts.flag_parse("max-threads", study.config().cores)?;
+    if max == 0 || max > study.config().cores {
+        return Err(format!("--max-threads must be 1..={}", study.config().cores));
+    }
+    let curve = ScalabilityCurve::compute(study, name, max);
+    let mut t = Table::new(vec!["threads", "Mcycles", "speedup"]);
+    for i in 0..curve.threads.len() {
+        t.row(vec![
+            curve.threads[i].to_string(),
+            format!("{:.1}", curve.elapsed_cycles[i] as f64 / 1e6),
+            f2(curve.speedup[i]),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "max speedup {:.2}x => {} scalability{}",
+        curve.max_speedup(),
+        curve.class().label(),
+        curve
+            .saturation_threads()
+            .map(|t| format!(", saturates around {t} threads"))
+            .unwrap_or_default()
+    );
+    Ok(())
+}

@@ -1,0 +1,75 @@
+//! `cochar schedule <apps...> [--policy P] [--predict] [--validate]`
+
+use cochar_colocation::report::table::{f2, Table};
+use cochar_colocation::Study;
+use cochar_sched::{CostMatrix, Greedy, Naive, Optimal, Scheduler, Stable};
+
+use crate::opts::Opts;
+
+pub fn run(study: &Study, opts: &Opts) -> Result<(), String> {
+    if opts.positional.len() < 2 {
+        return Err("need at least two applications to schedule".into());
+    }
+    let names: Vec<&str> = opts.positional.iter().map(|s| s.as_str()).collect();
+    for n in &names {
+        if study.registry().get(n).is_none() {
+            return Err(format!("unknown application {n:?}; try `cochar list`"));
+        }
+    }
+    let policy: Box<dyn Scheduler> = match opts.flag("policy").unwrap_or("greedy") {
+        "naive" => Box::new(Naive),
+        "greedy" => Box::new(Greedy),
+        "optimal" => Box::new(Optimal),
+        "stable" => Box::new(Stable::by_vulnerability()),
+        other => return Err(format!("unknown policy {other:?} (naive|greedy|optimal|stable)")),
+    };
+
+    let m = if opts.switch("predict") {
+        println!("building cost matrix from Bubble-Up curves (O(n) measurements)...");
+        CostMatrix::predict_from_bubbles(study, &names)
+    } else {
+        println!("measuring pairwise cost matrix ({} pair runs)...", names.len().pow(2));
+        CostMatrix::measure(study, &names)
+    };
+
+    let placement = policy.schedule(&m).validated(m.len());
+    println!("\npolicy: {}", policy.name());
+    let mut t = Table::new(vec!["node", "jobs", "planned cost"]);
+    for (i, &(a, b)) in placement.bundles.iter().enumerate() {
+        t.row(vec![
+            format!("{i}"),
+            format!("{} + {}", m.names[a], m.names[b]),
+            f2(m.cost(a, b)),
+        ]);
+    }
+    for (i, &s) in placement.solo.iter().enumerate() {
+        t.row(vec![
+            format!("{}", placement.bundles.len() + i),
+            format!("{} (solo)", m.names[s]),
+            "1.00".to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "mean cost {:.2}x, throughput {:.2} job-equivalents, QoS violations (>=1.5x): {}",
+        placement.mean_cost(&m),
+        placement.throughput(&m),
+        placement.qos_violations(&m, cochar_colocation::VICTIM_THRESHOLD)
+    );
+
+    if opts.switch("validate") {
+        println!("\nvalidating the plan in the simulator...");
+        let report = cochar_sched::simulate::validate(study, &m, &placement);
+        for b in &report.bundles {
+            println!(
+                "  {} + {}: planned {:.2}x, measured {:.2}x",
+                b.a, b.b, b.planned_cost, b.measured_cost
+            );
+        }
+        println!(
+            "mean relative plan error: {:.1}%",
+            report.mean_relative_error() * 100.0
+        );
+    }
+    Ok(())
+}

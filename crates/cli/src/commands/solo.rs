@@ -1,0 +1,41 @@
+//! `cochar solo <app>`
+
+use cochar_colocation::Study;
+
+use crate::commands::profile_table;
+use crate::opts::Opts;
+
+pub fn run(study: &Study, opts: &Opts) -> Result<(), String> {
+    let name = opts.pos(0, "application name (see `cochar list`)")?;
+    if study.registry().get(name).is_none() {
+        return Err(format!("unknown application {name:?}; try `cochar list`"));
+    }
+    let solo = study.solo(name);
+    println!(
+        "{name} alone, {} threads, no interference:",
+        study.threads()
+    );
+    println!("{}", profile_table(&[(name, &solo.profile)]));
+    let c = &solo.profile.counters;
+    println!(
+        "instructions {}M, loads {}M, stores {}M, L1 hit {:.1}%, LLC hit (of L2 misses) {:.1}%",
+        c.instructions / 1_000_000,
+        c.loads / 1_000_000,
+        c.stores / 1_000_000,
+        100.0 * c.l1_hits as f64 / c.accesses().max(1) as f64,
+        100.0 * c.llc_hit_ratio(),
+    );
+    if !c.pc_stats.is_empty() {
+        println!("\nhottest access sites (by pending cycles):");
+        for p in c.hotspots().iter().take(4) {
+            println!(
+                "  pc {:>3}: {:>9} accesses, {:>8} L2 misses, {:>6.1} Mcyc pending",
+                p.pc,
+                p.accesses,
+                p.l2_misses,
+                p.pending_cycles as f64 / 1e6
+            );
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,41 @@
+//! `cochar throttle <victim> <offender> [--pads 0,20,60,120]`
+
+use cochar_colocation::report::table::{f2, Table};
+use cochar_colocation::throttle::sweep;
+use cochar_colocation::Study;
+
+use crate::opts::Opts;
+
+pub fn run(study: &Study, opts: &Opts) -> Result<(), String> {
+    let victim = opts.pos(0, "victim application")?;
+    let offender = opts.pos(1, "offender application")?;
+    for n in [victim, offender] {
+        if study.registry().get(n).is_none() {
+            return Err(format!("unknown application {n:?}"));
+        }
+    }
+    let pads: Vec<u32> = match opts.flag("pads") {
+        None => vec![0, 20, 60, 120, 240],
+        Some(list) => list
+            .split(',')
+            .map(|x| x.trim().parse().map_err(|_| format!("bad pad value {x:?}")))
+            .collect::<Result<_, _>>()?,
+    };
+    println!(
+        "throttling {offender} (background) to protect {victim} (foreground):"
+    );
+    let sw = sweep(study, victim, offender, &pads);
+    let mut t = Table::new(vec!["pad cyc/access", "victim slowdown", "offender slowdown"]);
+    for p in &sw.points {
+        t.row(vec![p.pad.to_string(), f2(p.victim_slowdown), f2(p.offender_slowdown)]);
+    }
+    println!("{}", t.render());
+    match sw.knee() {
+        Some(k) => println!(
+            "knee: pad {} protects the victim ({:.2}x < 1.5x QoS) at {:.2}x offender cost",
+            k.pad, k.victim_slowdown, k.offender_slowdown
+        ),
+        None => println!("no tested pad level brings the victim under the 1.5x QoS threshold"),
+    }
+    Ok(())
+}

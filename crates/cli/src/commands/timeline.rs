@@ -1,0 +1,51 @@
+//! `cochar timeline <fg> <bg>` — pcm-memory-style bandwidth timeline.
+
+use cochar_colocation::Study;
+
+use crate::opts::Opts;
+
+const GLYPHS: &[u8] = b" .:-=+*#%@";
+
+fn spark(series: &[f64], peak: f64) -> String {
+    series
+        .iter()
+        .map(|&v| {
+            let idx = ((v / peak).clamp(0.0, 1.0) * (GLYPHS.len() - 1) as f64) as usize;
+            GLYPHS[idx] as char
+        })
+        .collect()
+}
+
+pub fn run(study: &Study, opts: &Opts) -> Result<(), String> {
+    let fg = opts.pos(0, "foreground application")?;
+    let bg = opts.pos(1, "background application")?;
+    for n in [fg, bg] {
+        if study.registry().get(n).is_none() {
+            return Err(format!("unknown application {n:?}"));
+        }
+    }
+    let pair = study.pair(fg, bg);
+    let peak = study.config().peak_bandwidth_gbs();
+    let fg_series = pair.outcome.bandwidth_series(0);
+    let bg_series = pair.outcome.bandwidth_series(1);
+    let epochs_ms = pair.outcome.epoch_cycles as f64 / (study.config().freq_ghz * 1e6);
+    println!(
+        "bandwidth per {epochs_ms:.2} ms epoch (scale: ' '=0 .. '@'={peak:.0} GB/s), {} epochs:",
+        fg_series.len()
+    );
+    println!("{fg:>14} |{}|", spark(&fg_series, peak));
+    println!("{bg:>14} |{}|", spark(&bg_series, peak));
+    let total: Vec<f64> = fg_series
+        .iter()
+        .zip(&bg_series)
+        .map(|(a, b)| a + b)
+        .collect();
+    println!("{:>14} |{}|", "total", spark(&total, peak));
+    println!(
+        "averages: {fg} {:.1} GB/s, {bg} {:.1} GB/s, machine {:.1}/{peak:.1} GB/s",
+        pair.fg.bandwidth_gbs,
+        pair.bg.bandwidth_gbs,
+        pair.outcome.total_bandwidth_gbs()
+    );
+    Ok(())
+}

@@ -1,0 +1,106 @@
+//! `cochar` — command-line driver for the interference characterization
+//! suite.
+//!
+//! ```text
+//! cochar list
+//! cochar solo G-CC
+//! cochar pair G-CC fotonik3d
+//! cochar heatmap G-CC CIFAR fotonik3d blackscholes --csv heat.csv
+//! cochar scalability fotonik3d --max-threads 8
+//! cochar prefetch streamcluster --breakdown
+//! cochar bubble G-PR
+//! cochar schedule G-CC CIFAR fotonik3d mcf swaptions blackscholes --policy optimal
+//! cochar throttle G-CC fotonik3d --pads 0,20,60,120
+//! cochar timeline G-CC stream
+//! ```
+//!
+//! Global flags: `--machine bench|scaled|paper`, `--work <f64>`,
+//! `--threads <n>`, `--trials <n>`, `--seed <n>`.
+
+mod commands;
+mod opts;
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use cochar_colocation::Study;
+use cochar_machine::MachineConfig;
+use cochar_workloads::{Registry, Scale};
+
+use opts::Opts;
+
+const USAGE: &str = "\
+cochar — co-running interference characterization
+
+commands:
+  list                         workloads and their models
+  solo <app>                   no-interference profile (CPI, MPKI, GB/s, ...)
+  pair <fg> <bg>               co-run fg against looping bg; slowdown + metrics
+  heatmap <apps...>            pairwise matrix + classification [--csv FILE]
+  scalability <app>            1..N thread sweep [--max-threads N]
+  prefetch <app>               prefetcher sensitivity [--breakdown]
+  bubble <app>                 Bubble-Up pressure sensitivity curve
+  schedule <apps...>           consolidation plan [--policy naive|greedy|optimal|stable]
+                               [--predict: plan from bubble curves] [--validate]
+  throttle <victim> <offender> offender-throttling trade-off [--pads 0,20,...]
+  timeline <fg> <bg>           per-epoch bandwidth timeline of a co-run
+
+global flags: --machine bench|scaled|paper   --work F   --threads N
+              --trials N   --seed N
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args)?;
+    if opts.command.is_empty() || opts.command == "help" {
+        println!("{USAGE}");
+        return Ok(());
+    }
+    let study = build_study(&opts)?;
+    match opts.command.as_str() {
+        "list" => commands::list::run(&study),
+        "solo" => commands::solo::run(&study, &opts),
+        "pair" => commands::pair::run(&study, &opts),
+        "heatmap" => commands::heatmap::run(&study, &opts),
+        "scalability" => commands::scalability::run(&study, &opts),
+        "prefetch" => commands::prefetch::run(&study, &opts),
+        "bubble" => commands::bubble::run(&study, &opts),
+        "schedule" => commands::schedule::run(&study, &opts),
+        "throttle" => commands::throttle::run(&study, &opts),
+        "timeline" => commands::timeline::run(&study, &opts),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn build_study(opts: &Opts) -> Result<Study, String> {
+    let cfg = match opts.flag("machine").unwrap_or("bench") {
+        "bench" => MachineConfig::bench(),
+        "scaled" => MachineConfig::scaled(),
+        "paper" => MachineConfig::paper(),
+        other => return Err(format!("unknown machine {other:?} (bench|scaled|paper)")),
+    };
+    let work: f64 = opts.flag_parse("work", 1.0)?;
+    let seed: u64 = opts.flag_parse("seed", 1)?;
+    let threads: usize = opts.flag_parse("threads", 4)?;
+    let trials: u32 = opts.flag_parse("trials", 1)?;
+    if threads == 0 || trials == 0 {
+        return Err("--threads and --trials must be positive".into());
+    }
+    let scale = Scale::for_config(&cfg).with_work(work);
+    let registry = Arc::new(Registry::new(scale));
+    Ok(Study::new(cfg, registry)
+        .with_threads(threads)
+        .with_trials(trials)
+        .with_seed(seed))
+}

@@ -1,0 +1,106 @@
+//! End-to-end tests of the `cochar` binary.
+
+use std::process::Command;
+
+fn cochar(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_cochar"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout(args: &[&str]) -> String {
+    let out = cochar(args);
+    assert!(
+        out.status.success(),
+        "cochar {args:?} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+/// Fast flags shared by the simulation-driving tests.
+const FAST: [&str; 4] = ["--work", "0.2", "--threads", "2"];
+
+#[test]
+fn help_lists_commands() {
+    let s = stdout(&["help"]);
+    for cmd in ["solo", "pair", "heatmap", "schedule", "throttle", "timeline"] {
+        assert!(s.contains(cmd), "help missing {cmd}");
+    }
+}
+
+#[test]
+fn list_shows_all_27_workloads() {
+    let s = stdout(&["list"]);
+    for name in ["G-PR", "fotonik3d", "stream", "bandit", "ATIS"] {
+        assert!(s.contains(name), "list missing {name}");
+    }
+    assert!(s.contains("machine: 8 cores"));
+}
+
+#[test]
+fn solo_prints_profile_and_hotspots() {
+    let mut args = vec!["solo", "G-CC"];
+    args.extend(FAST);
+    let s = stdout(&args);
+    assert!(s.contains("GB/s"));
+    assert!(s.contains("CPI"));
+    assert!(s.contains("hottest access sites"));
+}
+
+#[test]
+fn pair_prints_slowdown_and_classification() {
+    let mut args = vec!["pair", "swaptions", "blackscholes"];
+    args.extend(FAST);
+    let s = stdout(&args);
+    assert!(s.contains("normalized swaptions runtime"));
+    assert!(s.contains("Harmony"), "compute pair must classify Harmony:\n{s}");
+}
+
+#[test]
+fn heatmap_writes_csv() {
+    let dir = std::env::temp_dir().join("cochar_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let csv = dir.join("heat.csv");
+    let csv_s = csv.to_str().unwrap();
+    let mut args = vec!["heatmap", "swaptions", "blackscholes", "--csv", csv_s];
+    args.extend(FAST);
+    let s = stdout(&args);
+    assert!(s.contains("legend"));
+    let contents = std::fs::read_to_string(&csv).unwrap();
+    assert!(contents.starts_with("fg\\bg,swaptions,blackscholes"));
+    assert_eq!(contents.lines().count(), 3);
+}
+
+#[test]
+fn scalability_reports_class() {
+    let mut args = vec!["scalability", "swaptions", "--max-threads", "2"];
+    args.extend(["--work", "0.2"]);
+    let s = stdout(&args);
+    assert!(s.contains("max speedup"));
+    assert!(s.contains("scalability"));
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = cochar(&["frobnicate"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown command"));
+    assert!(err.contains("commands:"), "usage should be printed");
+}
+
+#[test]
+fn unknown_app_fails_helpfully() {
+    let out = cochar(&["solo", "not-an-app"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown application"));
+}
+
+#[test]
+fn bad_flag_value_fails() {
+    let out = cochar(&["list", "--machine", "quantum"]);
+    assert!(!out.status.success());
+}

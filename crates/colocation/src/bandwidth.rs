@@ -1,0 +1,114 @@
+//! Bandwidth accounting (paper Sec. IV-B Fig. 3 and Sec. V-B Table III).
+
+use serde::{Deserialize, Serialize};
+
+use crate::study::Study;
+use crate::sweep::parallel_map;
+
+/// Solo bandwidth of one application at several thread counts (Fig. 3's
+/// min/typ/max bars: 1, 4, and 8 threads in the paper).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BandwidthProfile {
+    /// Application name.
+    pub name: String,
+    /// (threads, GB/s) pairs.
+    pub by_threads: Vec<(usize, f64)>,
+}
+
+/// Measures `name`'s solo bandwidth at each requested thread count.
+pub fn solo_bandwidth(study: &Study, name: &str, thread_counts: &[usize]) -> BandwidthProfile {
+    let by_threads = parallel_map(thread_counts, |&t| {
+        (t, study.solo_with_threads(name, t).profile.bandwidth_gbs)
+    });
+    BandwidthProfile { name: name.to_string(), by_threads }
+}
+
+/// Table III row: total traffic of a co-running pair next to each
+/// member's solo consumption. The paper's headline observation is that
+/// `pair_gbs < a_solo_gbs + b_solo_gbs` for every memory-intensive pair —
+/// the controller saturates and both lose.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PairBandwidth {
+    /// Foreground application (A).
+    pub a: String,
+    /// Background application (B).
+    pub b: String,
+    /// Machine-total GB/s while A (foreground) co-ran with B (background).
+    pub pair_gbs: f64,
+    /// A's solo GB/s at the same thread count.
+    pub a_solo_gbs: f64,
+    /// B's solo GB/s at the same thread count.
+    pub b_solo_gbs: f64,
+}
+
+impl PairBandwidth {
+    /// The bandwidth the pair "lost" to contention, in GB/s.
+    pub fn contention_loss(&self) -> f64 {
+        (self.a_solo_gbs + self.b_solo_gbs - self.pair_gbs).max(0.0)
+    }
+}
+
+/// Measures the Table III quantities for the pair `(a, b)`.
+pub fn pair_bandwidth(study: &Study, a: &str, b: &str) -> PairBandwidth {
+    let a_solo = study.solo(a).profile.bandwidth_gbs;
+    let b_solo = study.solo(b).profile.bandwidth_gbs;
+    let pair = study.pair(a, b);
+    PairBandwidth {
+        a: a.to_string(),
+        b: b.to_string(),
+        pair_gbs: pair.outcome.total_bandwidth_gbs(),
+        a_solo_gbs: a_solo,
+        b_solo_gbs: b_solo,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cochar_machine::MachineConfig;
+    use cochar_workloads::{Registry, Scale};
+    use std::sync::Arc;
+
+    fn study() -> Study {
+        Study::new(MachineConfig::tiny(), Arc::new(Registry::new(Scale::tiny())))
+            .with_threads(1)
+    }
+
+    #[test]
+    fn solo_bandwidth_reports_requested_thread_counts() {
+        let s = study();
+        let p = solo_bandwidth(&s, "stream", &[1, 2]);
+        assert_eq!(p.by_threads.len(), 2);
+        assert_eq!(p.by_threads[0].0, 1);
+        assert!(p.by_threads[0].1 > 0.0);
+        // More threads, more demand (until saturation).
+        assert!(p.by_threads[1].1 >= p.by_threads[0].1 * 0.9);
+    }
+
+    #[test]
+    fn pair_bandwidth_is_subadditive_for_memory_pairs() {
+        let s = study();
+        let pb = pair_bandwidth(&s, "stream", "stream");
+        assert!(pb.pair_gbs > 0.0);
+        assert!(
+            pb.pair_gbs < pb.a_solo_gbs + pb.b_solo_gbs,
+            "pair {:.1} must be below sum of solos {:.1}+{:.1}",
+            pb.pair_gbs,
+            pb.a_solo_gbs,
+            pb.b_solo_gbs
+        );
+        assert!(pb.contention_loss() > 0.0);
+    }
+
+    #[test]
+    fn contention_loss_clamps_at_zero() {
+        let pb = PairBandwidth {
+            a: "x".into(),
+            b: "y".into(),
+            pair_gbs: 10.0,
+            a_solo_gbs: 4.0,
+            b_solo_gbs: 4.0,
+        };
+        assert_eq!(pb.contention_loss(), 0.0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Bubble-Up-style sensitivity curves and degradation prediction.
+//!
+//! Extension beyond the paper's direct 625-pair measurement: characterize
+//! each application *once* against a tunable pressure dial
+//! ([`cochar_workloads::bubble`]) and predict its slowdown under any
+//! co-runner from the co-runner's pressure score — the methodology of
+//! Mars et al. (Bubble-Up, MICRO'11), which the paper discusses as prior
+//! work. Useful for schedulers that cannot afford the full quadratic
+//! pairing study.
+
+use cochar_workloads::bubble::{bubble_spec, MAX_INTENSITY};
+use serde::{Deserialize, Serialize};
+
+use crate::study::Study;
+use crate::sweep::parallel_map;
+
+/// An application's measured response to increasing memory pressure.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BubbleCurve {
+    /// Application name.
+    pub name: String,
+    /// Background pressure at each point, in GB/s consumed by the bubble.
+    pub pressure_gbs: Vec<f64>,
+    /// Foreground slowdown at each point (>= 1).
+    pub slowdown: Vec<f64>,
+}
+
+impl BubbleCurve {
+    /// Measures `name`'s sensitivity curve over the full dial.
+    pub fn measure(study: &Study, name: &str) -> BubbleCurve {
+        let intensities: Vec<u32> = (0..=MAX_INTENSITY).step_by(2).collect();
+        let points = parallel_map(&intensities, |&i| {
+            let bubble = bubble_spec(study.registry().scale(), i);
+            let pair = study.pair_against(name, &bubble);
+            (pair.bg.bandwidth_gbs, pair.fg_slowdown)
+        });
+        BubbleCurve {
+            name: name.to_string(),
+            pressure_gbs: points.iter().map(|p| p.0).collect(),
+            slowdown: points.iter().map(|p| p.1).collect(),
+        }
+    }
+
+    /// Predicted slowdown under a co-runner that consumes `pressure_gbs`
+    /// of bandwidth (linear interpolation; clamped to the measured range).
+    pub fn predict(&self, pressure_gbs: f64) -> f64 {
+        let n = self.pressure_gbs.len();
+        if n == 0 {
+            return 1.0;
+        }
+        if pressure_gbs <= self.pressure_gbs[0] {
+            return self.slowdown[0];
+        }
+        for i in 1..n {
+            if pressure_gbs <= self.pressure_gbs[i] {
+                let (x0, x1) = (self.pressure_gbs[i - 1], self.pressure_gbs[i]);
+                let (y0, y1) = (self.slowdown[i - 1], self.slowdown[i]);
+                if x1 <= x0 {
+                    return y1;
+                }
+                return y0 + (y1 - y0) * (pressure_gbs - x0) / (x1 - x0);
+            }
+        }
+        self.slowdown[n - 1]
+    }
+
+    /// Peak measured sensitivity (the curve's right edge).
+    pub fn max_slowdown(&self) -> f64 {
+        self.slowdown.iter().copied().fold(1.0, f64::max)
+    }
+}
+
+/// Predicts the slowdown of `fg` under `bg` from `fg`'s bubble curve and
+/// `bg`'s solo bandwidth (its pressure score), and returns
+/// `(predicted, measured)` for validation.
+pub fn predict_pair(study: &Study, curve: &BubbleCurve, bg: &str) -> (f64, f64) {
+    let pressure = study.solo(bg).profile.bandwidth_gbs;
+    let predicted = curve.predict(pressure);
+    let measured = study.pair(&curve.name, bg).fg_slowdown;
+    (predicted, measured)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cochar_machine::MachineConfig;
+    use cochar_workloads::{Registry, Scale};
+    use std::sync::Arc;
+
+    fn study() -> Study {
+        Study::new(MachineConfig::tiny(), Arc::new(Registry::new(Scale::tiny())))
+            .with_threads(1)
+    }
+
+    #[test]
+    fn curve_is_monotone_enough_and_starts_near_one() {
+        let s = study();
+        let c = BubbleCurve::measure(&s, "stream");
+        assert_eq!(c.pressure_gbs.len(), c.slowdown.len());
+        assert!(c.slowdown[0] < 1.3, "low pressure should be mild: {:?}", c.slowdown);
+        assert!(
+            c.max_slowdown() > c.slowdown[0],
+            "pressure must eventually hurt: {:?}",
+            c.slowdown
+        );
+    }
+
+    #[test]
+    fn predict_interpolates_and_clamps() {
+        let c = BubbleCurve {
+            name: "x".into(),
+            pressure_gbs: vec![1.0, 2.0, 4.0],
+            slowdown: vec![1.0, 1.2, 2.0],
+        };
+        assert!((c.predict(0.5) - 1.0).abs() < 1e-12); // clamp low
+        assert!((c.predict(1.5) - 1.1).abs() < 1e-12); // interpolate
+        assert!((c.predict(3.0) - 1.6).abs() < 1e-12);
+        assert!((c.predict(9.0) - 2.0).abs() < 1e-12); // clamp high
+    }
+
+    #[test]
+    fn empty_curve_predicts_unity() {
+        let c = BubbleCurve { name: "x".into(), pressure_gbs: vec![], slowdown: vec![] };
+        assert_eq!(c.predict(5.0), 1.0);
+    }
+
+    #[test]
+    fn prediction_is_in_the_ballpark_of_measurement() {
+        let s = study();
+        let curve = BubbleCurve::measure(&s, "freqmine");
+        let (pred, meas) = predict_pair(&s, &curve, "bandit");
+        assert!(
+            (pred - meas).abs() / meas < 0.5,
+            "prediction {pred:.2} vs measured {meas:.2} should be within 50%"
+        );
+    }
+}

@@ -1,0 +1,95 @@
+//! The paper's co-running relationship classification (Sec. V).
+
+use serde::{Deserialize, Serialize};
+
+/// Slowdown threshold separating acceptable from victimized execution:
+/// the paper classifies an application as a victim when its co-running
+/// runtime reaches 1.5x its solo runtime.
+pub const VICTIM_THRESHOLD: f64 = 1.5;
+
+/// Relationship of a co-running pair (A, B).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PairClass {
+    /// Both applications stay under the victim threshold — the preferred
+    /// consolidation in throughput-oriented computing.
+    Harmony,
+    /// Exactly one application is slowed >= 1.5x; `victim_is_a` says
+    /// which. Acceptable when the foreground task is the offender.
+    VictimOffender {
+        /// True when application A is the victim.
+        victim_is_a: bool,
+    },
+    /// Both applications are slowed >= 1.5x — consolidations to avoid.
+    BothVictim,
+}
+
+impl PairClass {
+    /// Short display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PairClass::Harmony => "Harmony",
+            PairClass::VictimOffender { .. } => "Victim-Offender",
+            PairClass::BothVictim => "Both-Victim",
+        }
+    }
+}
+
+/// Classifies a pair from the two normalized runtimes (co-run time over
+/// solo time, >= 1.0 in the absence of constructive interference).
+pub fn classify(slowdown_a: f64, slowdown_b: f64) -> PairClass {
+    let a_victim = slowdown_a >= VICTIM_THRESHOLD;
+    let b_victim = slowdown_b >= VICTIM_THRESHOLD;
+    match (a_victim, b_victim) {
+        (false, false) => PairClass::Harmony,
+        (true, false) => PairClass::VictimOffender { victim_is_a: true },
+        (false, true) => PairClass::VictimOffender { victim_is_a: false },
+        (true, true) => PairClass::BothVictim,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harmony_below_threshold() {
+        assert_eq!(classify(1.0, 1.0), PairClass::Harmony);
+        assert_eq!(classify(1.49, 1.49), PairClass::Harmony);
+    }
+
+    #[test]
+    fn victim_offender_assigns_victim_side() {
+        assert_eq!(classify(1.55, 1.25), PairClass::VictimOffender { victim_is_a: true });
+        assert_eq!(classify(1.1, 1.98), PairClass::VictimOffender { victim_is_a: false });
+    }
+
+    #[test]
+    fn both_victim_above_threshold() {
+        assert_eq!(classify(1.52, 1.54), PairClass::BothVictim);
+    }
+
+    #[test]
+    fn threshold_is_inclusive() {
+        assert_eq!(classify(1.5, 1.0), PairClass::VictimOffender { victim_is_a: true });
+    }
+
+    #[test]
+    fn paper_examples_classify_as_reported() {
+        // G-CC with CIFAR: 1.547 vs 1.25 — Victim-Offender, G-CC victim.
+        assert_eq!(classify(1.547, 1.25), PairClass::VictimOffender { victim_is_a: true });
+        // G-CC with fotonik3d: 1.98 vs 1.46 — Victim-Offender.
+        assert_eq!(classify(1.98, 1.46), PairClass::VictimOffender { victim_is_a: true });
+        // CIFAR with fotonik3d: 1.52 vs 1.54 — Both-Victim.
+        assert_eq!(classify(1.52, 1.54), PairClass::BothVictim);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(PairClass::Harmony.label(), "Harmony");
+        assert_eq!(PairClass::BothVictim.label(), "Both-Victim");
+        assert_eq!(
+            PairClass::VictimOffender { victim_is_a: false }.label(),
+            "Victim-Offender"
+        );
+    }
+}

@@ -1,0 +1,163 @@
+//! Consolidation benefit: the throughput/energy argument that motivates
+//! the whole study (paper Sec. I).
+//!
+//! Co-running two applications on one node is worthwhile when the
+//! throughput kept under interference beats the cost of keeping a second
+//! node powered. This module quantifies both sides with a simple
+//! machine-energy model: a powered node draws idle power plus per-core
+//! active power, and memory traffic costs energy per byte.
+
+use serde::{Deserialize, Serialize};
+
+use crate::study::Study;
+
+/// Energy model parameters (defaults are server-class ballpark figures;
+/// only *ratios* matter for the consolidation comparison).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Node idle power, watts (chipset, DRAM background, fans, PSU loss).
+    pub idle_w: f64,
+    /// Additional power per busy core, watts.
+    pub core_w: f64,
+    /// DRAM access energy, nanojoules per byte moved.
+    pub dram_nj_per_byte: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        // ~90 W idle node, ~8 W per active core, ~60 pJ/bit DRAM.
+        EnergyModel { idle_w: 90.0, core_w: 8.0, dram_nj_per_byte: 0.06 }
+    }
+}
+
+/// Outcome of the consolidated-vs-dedicated comparison for a pair.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ConsolidationReport {
+    /// First application.
+    pub a: String,
+    /// Second application.
+    pub b: String,
+    /// A's and B's slowdowns when co-run (vs solo).
+    pub slowdown_a: f64,
+    /// B's slowdown when co-run with A (vs its solo run).
+    pub slowdown_b: f64,
+    /// Combined normalized throughput when consolidated (2.0 = no loss).
+    pub consolidated_throughput: f64,
+    /// Energy to finish one unit of each job on dedicated nodes, joules.
+    pub dedicated_energy_j: f64,
+    /// Energy to finish the same work consolidated on one node, joules.
+    pub consolidated_energy_j: f64,
+}
+
+impl ConsolidationReport {
+    /// Energy saved by consolidating, as a fraction of dedicated energy
+    /// (positive = consolidation wins).
+    pub fn energy_saving(&self) -> f64 {
+        1.0 - self.consolidated_energy_j / self.dedicated_energy_j
+    }
+
+    /// Whether consolidation is worthwhile under a QoS cap on either
+    /// job's slowdown.
+    pub fn worthwhile(&self, qos_cap: f64) -> bool {
+        self.slowdown_a < qos_cap && self.slowdown_b < qos_cap && self.energy_saving() > 0.0
+    }
+}
+
+/// Compares dedicated vs consolidated execution of `a` and `b`.
+///
+/// Dedicated: each app runs solo (its threads active) on its own powered
+/// node for its solo runtime. Consolidated: one node runs both for
+/// roughly `max(solo_a * slowdown_a, solo_b * slowdown_b)`.
+pub fn evaluate(study: &Study, model: &EnergyModel, a: &str, b: &str) -> ConsolidationReport {
+    let freq = study.config().freq_ghz * 1e9;
+    let threads = study.threads() as f64;
+
+    let solo_a = study.solo(a);
+    let solo_b = study.solo(b);
+    let pair_ab = study.pair(a, b);
+    let pair_ba = study.pair(b, a);
+
+    let t_solo_a = solo_a.elapsed_cycles as f64 / freq;
+    let t_solo_b = solo_b.elapsed_cycles as f64 / freq;
+    let bytes_a = (solo_a.outcome.apps[0].read_bytes + solo_a.outcome.apps[0].write_bytes) as f64;
+    let bytes_b = (solo_b.outcome.apps[0].read_bytes + solo_b.outcome.apps[0].write_bytes) as f64;
+
+    // Dedicated: two nodes, each powered for its own job's runtime.
+    let dedicated = (model.idle_w + model.core_w * threads) * (t_solo_a + t_solo_b)
+        + model.dram_nj_per_byte * 1e-9 * (bytes_a + bytes_b);
+
+    // Consolidated: one node powered until the slower job finishes; both
+    // jobs' core power and (contended) traffic included.
+    let t_a = t_solo_a * pair_ab.fg_slowdown;
+    let t_b = t_solo_b * pair_ba.fg_slowdown;
+    let t_node = t_a.max(t_b);
+    let consolidated = (model.idle_w + model.core_w * 2.0 * threads) * t_node
+        + model.dram_nj_per_byte * 1e-9 * (bytes_a + bytes_b);
+
+    ConsolidationReport {
+        a: a.to_string(),
+        b: b.to_string(),
+        slowdown_a: pair_ab.fg_slowdown,
+        slowdown_b: pair_ba.fg_slowdown,
+        consolidated_throughput: 1.0 / pair_ab.fg_slowdown + 1.0 / pair_ba.fg_slowdown,
+        dedicated_energy_j: dedicated,
+        consolidated_energy_j: consolidated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cochar_machine::MachineConfig;
+    use cochar_workloads::{Registry, Scale};
+    use std::sync::Arc;
+
+    fn study() -> Study {
+        Study::new(MachineConfig::tiny(), Arc::new(Registry::new(Scale::tiny())))
+            .with_threads(1)
+    }
+
+    #[test]
+    fn harmonious_pair_saves_energy() {
+        let s = study();
+        let r = evaluate(&s, &EnergyModel::default(), "swaptions", "blackscholes");
+        assert!(r.slowdown_a < 1.1 && r.slowdown_b < 1.1);
+        assert!(
+            r.energy_saving() > 0.2,
+            "compute pair should save plenty: {:.2}",
+            r.energy_saving()
+        );
+        assert!(r.worthwhile(1.5));
+        assert!(r.consolidated_throughput > 1.8);
+    }
+
+    #[test]
+    fn toxic_pair_saves_less_than_harmonious() {
+        let s = study();
+        let good = evaluate(&s, &EnergyModel::default(), "swaptions", "blackscholes");
+        let bad = evaluate(&s, &EnergyModel::default(), "stream", "stream");
+        assert!(
+            bad.energy_saving() < good.energy_saving(),
+            "contended pair {:.2} vs harmonious {:.2}",
+            bad.energy_saving(),
+            good.energy_saving()
+        );
+        assert!(bad.consolidated_throughput < good.consolidated_throughput);
+    }
+
+    #[test]
+    fn qos_cap_vetoes_victim_pairs() {
+        let r = ConsolidationReport {
+            a: "x".into(),
+            b: "y".into(),
+            slowdown_a: 1.9,
+            slowdown_b: 1.1,
+            consolidated_throughput: 1.4,
+            dedicated_energy_j: 100.0,
+            consolidated_energy_j: 70.0,
+        };
+        assert!(r.energy_saving() > 0.0);
+        assert!(!r.worthwhile(1.5), "QoS breach must veto despite energy win");
+        assert!(r.worthwhile(2.0));
+    }
+}

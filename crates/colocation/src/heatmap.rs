@@ -1,0 +1,174 @@
+//! The consolidation heatmap (paper Fig. 5): normalized foreground
+//! runtime for every ordered (foreground, background) pair.
+
+use serde::{Deserialize, Serialize};
+
+use crate::classify::{classify, PairClass};
+use crate::study::Study;
+use crate::sweep::parallel_map;
+
+/// An N x N matrix of normalized foreground execution times.
+/// `norm[fg][bg]` is fg's co-run time over its solo time.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Heatmap {
+    /// Application names (row/column order).
+    pub names: Vec<String>,
+    /// Normalized foreground times: `norm[fg][bg]`.
+    pub norm: Vec<Vec<f64>>,
+}
+
+impl Heatmap {
+    /// Runs the full ordered-pair sweep over `names` (625 runs for the
+    /// paper's 25 applications), parallelized across host cores.
+    pub fn compute(study: &Study, names: &[&str]) -> Heatmap {
+        // Warm the solo cache sequentially (each entry is needed by a
+        // whole row and the cache lock serializes misses anyway).
+        for n in names {
+            let _ = study.solo(n);
+        }
+        let pairs: Vec<(usize, usize)> = (0..names.len())
+            .flat_map(|i| (0..names.len()).map(move |j| (i, j)))
+            .collect();
+        let cells = parallel_map(&pairs, |&(i, j)| study.pair(names[i], names[j]).fg_slowdown);
+        let n = names.len();
+        let mut norm = vec![vec![0.0; n]; n];
+        for (k, &(i, j)) in pairs.iter().enumerate() {
+            norm[i][j] = cells[k];
+        }
+        Heatmap { names: names.iter().map(|s| s.to_string()).collect(), norm }
+    }
+
+    /// Number of applications.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Index of an application by name.
+    pub fn index(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    /// Normalized time of foreground `fg` under background `bg`.
+    pub fn cell(&self, fg: usize, bg: usize) -> f64 {
+        self.norm[fg][bg]
+    }
+
+    /// Classifies the unordered pair `(a, b)` from both directions.
+    pub fn class(&self, a: usize, b: usize) -> PairClass {
+        classify(self.norm[a][b], self.norm[b][a])
+    }
+
+    /// Counts (harmony, victim-offender, both-victim) over unordered
+    /// pairs including self-pairs.
+    pub fn class_counts(&self) -> (usize, usize, usize) {
+        let n = self.len();
+        let (mut h, mut vo, mut bv) = (0, 0, 0);
+        for a in 0..n {
+            for b in a..n {
+                match self.class(a, b) {
+                    PairClass::Harmony => h += 1,
+                    PairClass::VictimOffender { .. } => vo += 1,
+                    PairClass::BothVictim => bv += 1,
+                }
+            }
+        }
+        (h, vo, bv)
+    }
+
+    /// The worst slowdown any foreground suffers under background `bg` —
+    /// a scalar "offender score".
+    pub fn offender_score(&self, bg: usize) -> f64 {
+        (0..self.len()).map(|fg| self.norm[fg][bg]).fold(0.0, f64::max)
+    }
+
+    /// The worst slowdown application `fg` suffers under any background —
+    /// a scalar "victim score".
+    pub fn victim_score(&self, fg: usize) -> f64 {
+        self.norm[fg].iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Renders the matrix as CSV (first column = foreground name, one
+    /// column per background) for external plotting.
+    pub fn to_csv(&self) -> String {
+        let mut headers = vec!["fg\\bg".to_string()];
+        headers.extend(self.names.iter().cloned());
+        let mut w = crate::report::csv::CsvWriter::new(&headers);
+        for (i, name) in self.names.iter().enumerate() {
+            let mut row = vec![name.clone()];
+            row.extend(self.norm[i].iter().map(|v| format!("{v:.4}")));
+            w.row(&row);
+        }
+        w.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Heatmap {
+        Heatmap {
+            names: vec!["a".into(), "b".into(), "c".into()],
+            norm: vec![
+                vec![1.0, 1.6, 1.1],
+                vec![1.2, 1.0, 1.7],
+                vec![1.0, 1.8, 1.05],
+            ],
+        }
+    }
+
+    #[test]
+    fn cell_and_index() {
+        let h = sample();
+        assert_eq!(h.index("b"), Some(1));
+        assert_eq!(h.index("zz"), None);
+        assert!((h.cell(0, 1) - 1.6).abs() < 1e-12);
+        assert_eq!(h.len(), 3);
+        assert!(!h.is_empty());
+    }
+
+    #[test]
+    fn class_uses_both_directions() {
+        let h = sample();
+        // a under b = 1.6 (victim), b under a = 1.2: victim-offender.
+        assert_eq!(h.class(0, 1), PairClass::VictimOffender { victim_is_a: true });
+        // b under c = 1.7, c under b = 1.8: both-victim.
+        assert_eq!(h.class(1, 2), PairClass::BothVictim);
+        // a under c = 1.1, c under a = 1.0: harmony.
+        assert_eq!(h.class(0, 2), PairClass::Harmony);
+    }
+
+    #[test]
+    fn class_counts_cover_all_unordered_pairs() {
+        let h = sample();
+        let (harmony, vo, bv) = h.class_counts();
+        // 3 diagonal + 3 off-diagonal unordered pairs.
+        assert_eq!(harmony + vo + bv, 6);
+        assert_eq!(bv, 1);
+        assert_eq!(vo, 1);
+    }
+
+    #[test]
+    fn csv_round_trips_dimensions() {
+        let h = sample();
+        let csv = h.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 4); // header + 3 rows
+        assert!(lines[0].starts_with("fg\\bg,a,b,c"));
+        assert!(lines[1].starts_with("a,1.0000,1.6000"));
+    }
+
+    #[test]
+    fn offender_and_victim_scores() {
+        let h = sample();
+        // Column b: worst fg slowdown is max(1.6, 1.0, 1.8) = 1.8.
+        assert!((h.offender_score(1) - 1.8).abs() < 1e-12);
+        // Row b: worst is 1.7.
+        assert!((h.victim_score(1) - 1.7).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,174 @@
+//! Bandwidth time-series phase analysis.
+//!
+//! The paper's Sec. V-A singles out AMG2006 as an exception among
+//! offenders: its third phase "consumes a large amount of bandwidth,
+//! which only lasts for a short execution period", so average-bandwidth
+//! rankings misjudge it. This module segments a pcm-style per-epoch
+//! bandwidth series into phases and computes burstiness, so schedulers
+//! can distinguish sustained offenders (Stream, fotonik3d) from phased
+//! ones (AMG2006).
+
+use cochar_machine::RunOutcome;
+use serde::{Deserialize, Serialize};
+
+/// One contiguous bandwidth phase.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PhaseSegment {
+    /// First epoch of the phase (inclusive).
+    pub start_epoch: usize,
+    /// One past the last epoch.
+    pub end_epoch: usize,
+    /// Mean bandwidth of the phase, GB/s.
+    pub mean_gbs: f64,
+}
+
+impl PhaseSegment {
+    /// Number of epochs in the phase.
+    pub fn len(&self) -> usize {
+        self.end_epoch - self.start_epoch
+    }
+
+    /// True if the phase covers no epochs.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Phase decomposition of one application's bandwidth series.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PhaseAnalysis {
+    /// The analyzed per-epoch bandwidth series, GB/s.
+    pub series_gbs: Vec<f64>,
+    /// Detected phases, tiling the series in order.
+    pub segments: Vec<PhaseSegment>,
+    /// Peak epoch bandwidth over mean bandwidth: ~1 for flat profiles
+    /// (Stream), large for bursty ones (AMG2006's solve phase).
+    pub burstiness: f64,
+    /// Fraction of total bytes moved in the busiest quarter of epochs.
+    pub traffic_concentration: f64,
+}
+
+impl PhaseAnalysis {
+    /// Segments `series` greedily: a new phase starts when an epoch's
+    /// bandwidth departs from the running phase mean by more than
+    /// `threshold_frac` of the series peak.
+    pub fn from_series(series: Vec<f64>, threshold_frac: f64) -> Self {
+        assert!(threshold_frac > 0.0);
+        let peak = series.iter().copied().fold(0.0, f64::max);
+        let mean = if series.is_empty() {
+            0.0
+        } else {
+            series.iter().sum::<f64>() / series.len() as f64
+        };
+        let mut segments: Vec<PhaseSegment> = Vec::new();
+        let mut start = 0usize;
+        let mut acc = 0.0f64;
+        for (i, &v) in series.iter().enumerate() {
+            let n = i - start;
+            if n > 0 {
+                let seg_mean = acc / n as f64;
+                if (v - seg_mean).abs() > threshold_frac * peak.max(1e-9) {
+                    segments.push(PhaseSegment {
+                        start_epoch: start,
+                        end_epoch: i,
+                        mean_gbs: seg_mean,
+                    });
+                    start = i;
+                    acc = 0.0;
+                }
+            }
+            acc += v;
+        }
+        if start < series.len() {
+            segments.push(PhaseSegment {
+                start_epoch: start,
+                end_epoch: series.len(),
+                mean_gbs: acc / (series.len() - start) as f64,
+            });
+        }
+        // Traffic concentration: share of bytes in the top 25% of epochs.
+        let mut sorted = series.clone();
+        sorted.sort_by(|a, b| b.total_cmp(a));
+        let total: f64 = sorted.iter().sum();
+        let top = sorted.len().div_ceil(4);
+        let concentrated: f64 = sorted.iter().take(top).sum();
+        PhaseAnalysis {
+            burstiness: if mean > 0.0 { peak / mean } else { 0.0 },
+            traffic_concentration: if total > 0.0 { concentrated / total } else { 0.0 },
+            series_gbs: series,
+            segments,
+        }
+    }
+
+    /// Analyzes application `app` of a run outcome.
+    pub fn from_outcome(outcome: &RunOutcome, app: usize) -> Self {
+        Self::from_series(outcome.bandwidth_series(app), 0.25)
+    }
+
+    /// True if the profile is *phased*: short high-bandwidth bursts over
+    /// a quieter baseline (the AMG2006 signature).
+    pub fn is_bursty(&self) -> bool {
+        self.burstiness > 2.0 && self.traffic_concentration > 0.5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_series_is_one_phase() {
+        let a = PhaseAnalysis::from_series(vec![10.0; 20], 0.25);
+        assert_eq!(a.segments.len(), 1);
+        assert!((a.burstiness - 1.0).abs() < 1e-9);
+        assert!(!a.is_bursty());
+    }
+
+    #[test]
+    fn step_series_splits_at_the_step() {
+        let mut s = vec![2.0; 10];
+        s.extend(vec![20.0; 5]);
+        let a = PhaseAnalysis::from_series(s, 0.25);
+        assert!(a.segments.len() >= 2, "{:?}", a.segments);
+        let first = &a.segments[0];
+        assert_eq!(first.start_epoch, 0);
+        assert!((first.mean_gbs - 2.0).abs() < 1e-9);
+        // Burst carries most of the traffic in 1/3 of the time.
+        assert!(a.burstiness > 2.0, "burstiness {}", a.burstiness);
+        assert!(a.is_bursty());
+    }
+
+    #[test]
+    fn segments_tile_the_series() {
+        let s: Vec<f64> = (0..50).map(|i| if i % 13 == 0 { 25.0 } else { 3.0 }).collect();
+        let a = PhaseAnalysis::from_series(s.clone(), 0.2);
+        let mut covered = 0;
+        let mut prev_end = 0;
+        for seg in &a.segments {
+            assert_eq!(seg.start_epoch, prev_end);
+            assert!(!seg.is_empty());
+            prev_end = seg.end_epoch;
+            covered += seg.len();
+        }
+        assert_eq!(covered, s.len());
+    }
+
+    #[test]
+    fn empty_series_is_handled() {
+        let a = PhaseAnalysis::from_series(vec![], 0.25);
+        assert!(a.segments.is_empty());
+        assert_eq!(a.burstiness, 0.0);
+        assert!(!a.is_bursty());
+    }
+
+    #[test]
+    fn amg_like_profile_is_bursty_stream_like_is_not() {
+        // AMG: long quiet setup, short intense solve.
+        let mut amg = vec![0.5; 30];
+        amg.extend(vec![26.0; 6]);
+        assert!(PhaseAnalysis::from_series(amg, 0.25).is_bursty());
+        // Stream: sustained.
+        let stream = vec![27.0; 36];
+        assert!(!PhaseAnalysis::from_series(stream, 0.25).is_bursty());
+    }
+}

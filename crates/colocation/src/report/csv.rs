@@ -1,0 +1,77 @@
+//! Minimal CSV emission for experiment records.
+
+/// Builds CSV text with proper quoting of commas/quotes/newlines.
+pub struct CsvWriter {
+    buf: String,
+    cols: usize,
+}
+
+impl CsvWriter {
+    /// Starts a CSV document with the given header row.
+    pub fn new<S: AsRef<str>>(headers: &[S]) -> Self {
+        let mut w = CsvWriter { buf: String::new(), cols: headers.len() };
+        w.push_row_raw(headers.iter().map(|h| h.as_ref()));
+        w
+    }
+
+    fn push_row_raw<'a>(&mut self, cells: impl Iterator<Item = &'a str>) {
+        let mut n = 0;
+        let mut first = true;
+        for c in cells {
+            if !first {
+                self.buf.push(',');
+            }
+            first = false;
+            self.buf.push_str(&escape(c));
+            n += 1;
+        }
+        assert_eq!(n, self.cols, "csv row width mismatch");
+        self.buf.push('\n');
+    }
+
+    /// Appends a data row.
+    pub fn row<S: AsRef<str>>(&mut self, cells: &[S]) -> &mut Self {
+        self.push_row_raw(cells.iter().map(|c| c.as_ref()));
+        self
+    }
+
+    /// The accumulated CSV text.
+    pub fn finish(self) -> String {
+        self.buf
+    }
+}
+
+fn escape(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_rows() {
+        let mut w = CsvWriter::new(&["a", "b"]);
+        w.row(&["1", "2"]);
+        assert_eq!(w.finish(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn quoting() {
+        let mut w = CsvWriter::new(&["x"]);
+        w.row(&["has,comma"]);
+        w.row(&["has\"quote"]);
+        assert_eq!(w.finish(), "x\n\"has,comma\"\n\"has\"\"quote\"\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn width_mismatch_panics() {
+        let mut w = CsvWriter::new(&["a", "b"]);
+        w.row(&["only"]);
+    }
+}

@@ -1,0 +1,72 @@
+//! ASCII rendering of the consolidation heatmap (Fig. 5).
+
+use crate::heatmap::Heatmap;
+
+/// Bucket glyphs from harmless to severe: the paper's colour scale,
+/// terminal edition.
+const GLYPHS: &[(f64, char)] = &[
+    (1.10, '.'), // < 10% slowdown
+    (1.25, ':'),
+    (1.50, '+'), // below the victim threshold
+    (2.00, '#'),
+    (f64::INFINITY, '@'),
+];
+
+fn glyph(x: f64) -> char {
+    for &(limit, g) in GLYPHS {
+        if x < limit {
+            return g;
+        }
+    }
+    '@'
+}
+
+/// Renders the heatmap as a character grid: rows are foreground
+/// applications, columns background, one glyph per cell plus a legend.
+pub fn ascii_heatmap(h: &Heatmap) -> String {
+    let name_w = h.names.iter().map(|n| n.len()).max().unwrap_or(4).max(4);
+    let mut out = String::new();
+    // Column index header.
+    out.push_str(&format!("{:>name_w$} ", "fg\\bg"));
+    for j in 0..h.len() {
+        out.push_str(&format!("{:>2}", j % 100));
+    }
+    out.push('\n');
+    for (i, name) in h.names.iter().enumerate() {
+        out.push_str(&format!("{name:>name_w$} "));
+        for j in 0..h.len() {
+            out.push(' ');
+            out.push(glyph(h.cell(i, j)));
+        }
+        out.push_str(&format!("  [{i}]\n"));
+    }
+    out.push_str("\nlegend: . <1.10   : <1.25   + <1.50   # <2.00   @ >=2.00 (normalized fg time)\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn glyph_buckets() {
+        assert_eq!(glyph(1.0), '.');
+        assert_eq!(glyph(1.12), ':');
+        assert_eq!(glyph(1.3), '+');
+        assert_eq!(glyph(1.6), '#');
+        assert_eq!(glyph(2.5), '@');
+    }
+
+    #[test]
+    fn renders_grid_with_all_rows() {
+        let h = Heatmap {
+            names: vec!["aa".into(), "b".into()],
+            norm: vec![vec![1.0, 1.8], vec![1.2, 1.05]],
+        };
+        let s = ascii_heatmap(&h);
+        assert!(s.contains("aa"));
+        assert!(s.contains('#'));
+        assert!(s.contains("legend"));
+        assert_eq!(s.lines().count(), 1 + 2 + 2); // header + 2 rows + blank + legend
+    }
+}

@@ -1,0 +1,13 @@
+//! Plain-text reporting: fixed-width tables, ASCII heatmaps, CSV.
+//!
+//! The bench targets print the paper's tables and figure series through
+//! these helpers so every experiment's output is directly comparable to
+//! the publication.
+
+pub mod csv;
+pub mod heat;
+pub mod table;
+
+pub use csv::CsvWriter;
+pub use heat::ascii_heatmap;
+pub use table::Table;

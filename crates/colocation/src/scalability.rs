@@ -1,0 +1,146 @@
+//! Thread-scalability analysis (paper Sec. IV-A, Fig. 2, Table II).
+
+use serde::{Deserialize, Serialize};
+
+use crate::study::Study;
+use crate::sweep::parallel_map;
+
+/// The paper's three scalability buckets (Table II).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScalabilityClass {
+    /// Barely faster with more threads (ATIS, P-SSSP, AMG2006).
+    Low,
+    /// Saturates before the core count (fotonik3d, streamcluster, …).
+    Medium,
+    /// Near-linear to the full machine.
+    High,
+}
+
+impl ScalabilityClass {
+    /// Display label ("Low", "Medium", "High").
+    pub fn label(&self) -> &'static str {
+        match self {
+            ScalabilityClass::Low => "Low",
+            ScalabilityClass::Medium => "Medium",
+            ScalabilityClass::High => "High",
+        }
+    }
+}
+
+/// Speedup curve of one application over 1..=max threads.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ScalabilityCurve {
+    /// Application name.
+    pub name: String,
+    /// Thread counts swept (1..=max).
+    pub threads: Vec<usize>,
+    /// Measured runtime at each thread count.
+    pub elapsed_cycles: Vec<u64>,
+    /// Speedup relative to the 1-thread run.
+    pub speedup: Vec<f64>,
+}
+
+impl ScalabilityCurve {
+    /// Sweeps `name` from 1 to `max_threads` threads.
+    pub fn compute(study: &Study, name: &str, max_threads: usize) -> Self {
+        let threads: Vec<usize> = (1..=max_threads).collect();
+        let runs = parallel_map(&threads, |&t| study.solo_with_threads(name, t));
+        let elapsed: Vec<u64> = runs.iter().map(|r| r.elapsed_cycles).collect();
+        let base = elapsed[0] as f64;
+        let speedup = elapsed.iter().map(|&e| base / e as f64).collect();
+        ScalabilityCurve {
+            name: name.to_string(),
+            threads,
+            elapsed_cycles: elapsed,
+            speedup,
+        }
+    }
+
+    /// Peak speedup over the sweep.
+    pub fn max_speedup(&self) -> f64 {
+        self.speedup.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// The thread count past which speedup improves by less than 10% per
+    /// doubling (saturation point), if any.
+    pub fn saturation_threads(&self) -> Option<usize> {
+        for (i, w) in self.speedup.windows(2).enumerate() {
+            let gain = w[1] / w[0];
+            let ideal = (self.threads[i + 1] as f64) / (self.threads[i] as f64);
+            if ideal > 1.0 && (gain - 1.0) < 0.10 * (ideal - 1.0) {
+                return Some(self.threads[i]);
+            }
+        }
+        None
+    }
+
+    /// Table II bucket from the peak speedup (thresholds chosen for an
+    /// 8-core sweep: <2.2 Low, <5.6 Medium, otherwise High — the Medium
+    /// band covers everything that saturates before the core count).
+    pub fn class(&self) -> ScalabilityClass {
+        categorize(self.max_speedup())
+    }
+}
+
+/// Buckets a peak speedup per the Table II thresholds.
+pub fn categorize(max_speedup: f64) -> ScalabilityClass {
+    if max_speedup < 2.2 {
+        ScalabilityClass::Low
+    } else if max_speedup < 5.6 {
+        ScalabilityClass::Medium
+    } else {
+        ScalabilityClass::High
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve(speedups: &[f64]) -> ScalabilityCurve {
+        ScalabilityCurve {
+            name: "x".into(),
+            threads: (1..=speedups.len()).collect(),
+            elapsed_cycles: speedups.iter().map(|s| (1e6 / s) as u64).collect(),
+            speedup: speedups.to_vec(),
+        }
+    }
+
+    #[test]
+    fn categorize_thresholds() {
+        assert_eq!(categorize(1.0), ScalabilityClass::Low);
+        assert_eq!(categorize(2.1), ScalabilityClass::Low);
+        assert_eq!(categorize(2.2), ScalabilityClass::Medium);
+        assert_eq!(categorize(5.5), ScalabilityClass::Medium);
+        assert_eq!(categorize(5.6), ScalabilityClass::High);
+        assert_eq!(categorize(7.9), ScalabilityClass::High);
+    }
+
+    #[test]
+    fn max_speedup_and_class() {
+        let c = curve(&[1.0, 1.9, 2.7, 3.4, 3.9, 4.1, 4.2, 4.2]);
+        assert!((c.max_speedup() - 4.2).abs() < 1e-12);
+        assert_eq!(c.class(), ScalabilityClass::Medium);
+    }
+
+    #[test]
+    fn saturation_detects_flat_tail() {
+        // Scales to 4 threads then flat.
+        let c = curve(&[1.0, 2.0, 3.0, 4.0, 4.02, 4.03, 4.03, 4.03]);
+        assert_eq!(c.saturation_threads(), Some(4));
+    }
+
+    #[test]
+    fn linear_curve_never_saturates() {
+        let c = curve(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        assert_eq!(c.saturation_threads(), None);
+        assert_eq!(c.class(), ScalabilityClass::High);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(ScalabilityClass::Low.label(), "Low");
+        assert_eq!(ScalabilityClass::Medium.label(), "Medium");
+        assert_eq!(ScalabilityClass::High.label(), "High");
+    }
+}

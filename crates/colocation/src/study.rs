@@ -1,0 +1,301 @@
+//! The [`Study`]: machine + registry + measurement protocol.
+//!
+//! Reproduces the paper's experiment setup (Sec. III): applications run
+//! with 4 threads each, pinned to disjoint cores; the only shared
+//! resources are the LLC and the memory subsystem. Foreground runtime is
+//! the measurement; background applications restart until the foreground
+//! completes; every measurement can be repeated over several trials
+//! (the paper uses 3) with the median reported.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use cochar_machine::{AppSpec, Machine, MachineConfig, Msr, Role, RunOutcome};
+use cochar_workloads::{Registry, WorkloadSpec};
+use parking_lot::Mutex;
+
+use crate::metrics::Profile;
+
+/// Address-region bases: applications are separated by 2^40 bytes so they
+/// never share data while still colliding in cache sets.
+const FG_BASE: u64 = 1 << 40;
+const BG_BASE: u64 = 2 << 40;
+
+/// Result of a solo (no-interference) run.
+#[derive(Clone, Debug)]
+pub struct SoloResult {
+    /// Application name.
+    pub name: String,
+    /// Threads the run used.
+    pub threads: usize,
+    /// Median elapsed cycles over the trials.
+    pub elapsed_cycles: u64,
+    /// Profile of the median trial.
+    pub profile: Profile,
+    /// Full outcome of the median trial.
+    pub outcome: Arc<RunOutcome>,
+}
+
+/// Result of one co-running pair (foreground measured, background looping).
+#[derive(Clone, Debug)]
+pub struct PairResult {
+    /// Foreground application's profile during the co-run.
+    pub fg: Profile,
+    /// Background application's profile during the co-run.
+    pub bg: Profile,
+    /// Foreground co-run time over its solo time — the Fig. 5 cell value.
+    pub fg_slowdown: f64,
+    /// The run hit the cycle cap before the foreground finished.
+    pub truncated: bool,
+    /// Full outcome of the co-run (epochs, per-core counters).
+    pub outcome: Arc<RunOutcome>,
+}
+
+/// A configured measurement campaign.
+pub struct Study {
+    cfg: MachineConfig,
+    msr: Msr,
+    registry: Arc<Registry>,
+    threads: usize,
+    trials: u32,
+    base_seed: u64,
+    solo_cache: Mutex<HashMap<(String, usize, u64), Arc<SoloResult>>>,
+}
+
+impl Study {
+    /// A study on `cfg` over `registry`, defaulting to the paper's
+    /// protocol: 4 threads per application, 1 trial (the simulator is
+    /// deterministic; use [`Study::with_trials`] to vary seeds).
+    pub fn new(cfg: MachineConfig, registry: Arc<Registry>) -> Self {
+        Study {
+            cfg,
+            msr: Msr::all_on(),
+            registry,
+            threads: 4,
+            trials: 1,
+            base_seed: 1,
+            solo_cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Sets the per-application thread count (paper default: 4).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0);
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the number of trials (median-of-N, paper uses 3).
+    pub fn with_trials(mut self, trials: u32) -> Self {
+        assert!(trials > 0);
+        self.trials = trials;
+        self
+    }
+
+    /// Sets the prefetcher MSR for all runs of this study.
+    pub fn with_msr(mut self, msr: Msr) -> Self {
+        self.msr = msr;
+        self
+    }
+
+    /// Sets the base RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.base_seed = seed;
+        self
+    }
+
+    /// The machine configuration under study.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// The workload registry under study.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// A shared handle to the registry (for derived studies, e.g. MSR
+    /// endpoint comparisons).
+    pub fn registry_arc(&self) -> Arc<Registry> {
+        self.registry.clone()
+    }
+
+    /// Threads per application (paper default: 4).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The prefetcher MSR applied to every run.
+    pub fn msr(&self) -> Msr {
+        self.msr
+    }
+
+    /// Looks a workload up by name.
+    ///
+    /// # Panics
+    /// Panics with the list of valid names if absent — experiment scripts
+    /// should fail loudly on typos.
+    pub fn spec(&self, name: &str) -> &WorkloadSpec {
+        self.registry.get(name).unwrap_or_else(|| {
+            let names: Vec<_> = self.registry.all().iter().map(|s| s.name).collect();
+            panic!("unknown workload {name:?}; known: {names:?}")
+        })
+    }
+
+    fn machine(&self) -> Machine {
+        Machine::new(self.cfg.clone()).with_msr(self.msr)
+    }
+
+    fn app_spec(&self, spec: &WorkloadSpec, role: Role, base: u64, seed: u64, threads: usize) -> AppSpec {
+        AppSpec {
+            name: spec.name.to_string(),
+            factory: spec.factory.clone(),
+            threads,
+            role,
+            base,
+            seed,
+        }
+    }
+
+    fn median_run(&self, build: impl Fn(u64) -> Vec<AppSpec>) -> Arc<RunOutcome> {
+        let mut outcomes: Vec<RunOutcome> = (0..self.trials)
+            .map(|t| {
+                let seed = self.base_seed + 1000 * u64::from(t);
+                self.machine().run(&build(seed))
+            })
+            .collect();
+        outcomes.sort_by_key(|o| o.apps[0].elapsed_cycles);
+        Arc::new(outcomes.swap_remove(outcomes.len() / 2))
+    }
+
+    /// Runs `name` alone with the study's thread count (cached).
+    pub fn solo(&self, name: &str) -> Arc<SoloResult> {
+        self.solo_with_threads(name, self.threads)
+    }
+
+    /// Runs `name` alone with an explicit thread count (cached).
+    pub fn solo_with_threads(&self, name: &str, threads: usize) -> Arc<SoloResult> {
+        let key = (name.to_string(), threads, self.msr.raw());
+        if let Some(hit) = self.solo_cache.lock().get(&key) {
+            return hit.clone();
+        }
+        let spec = self.spec(name);
+        let outcome = self.median_run(|seed| {
+            vec![self.app_spec(spec, Role::Foreground, FG_BASE, seed, threads)]
+        });
+        let app = &outcome.apps[0];
+        let result = Arc::new(SoloResult {
+            name: name.to_string(),
+            threads,
+            elapsed_cycles: app.elapsed_cycles,
+            profile: Profile::from_app(app, self.cfg.freq_ghz),
+            outcome: outcome.clone(),
+        });
+        self.solo_cache.lock().insert(key, result.clone());
+        result
+    }
+
+    /// Co-runs foreground `fg` against looping background `bg`
+    /// (4+4 core binding as in the paper's Fig. 1) and reports the
+    /// foreground's normalized runtime.
+    pub fn pair(&self, fg: &str, bg: &str) -> PairResult {
+        let bg_spec = self.spec(bg).clone();
+        self.pair_against(fg, &bg_spec)
+    }
+
+    /// Like [`Study::pair`], but against a background workload that is
+    /// not in the registry (synthetic stressors, bubbles, custom apps).
+    pub fn pair_against(&self, fg: &str, bg_spec: &WorkloadSpec) -> PairResult {
+        let fg_spec = self.spec(fg);
+        assert!(
+            2 * self.threads <= self.cfg.cores,
+            "pair runs need 2*{} cores, machine has {}",
+            self.threads,
+            self.cfg.cores
+        );
+        let solo = self.solo(fg);
+        let outcome = self.median_run(|seed| {
+            vec![
+                self.app_spec(fg_spec, Role::Foreground, FG_BASE, seed, self.threads),
+                self.app_spec(bg_spec, Role::Background, BG_BASE, seed ^ 0x5EED, self.threads),
+            ]
+        });
+        let fg_app = &outcome.apps[0];
+        let bg_app = &outcome.apps[1];
+        PairResult {
+            fg: Profile::from_app(fg_app, self.cfg.freq_ghz),
+            bg: Profile::from_app(bg_app, self.cfg.freq_ghz),
+            fg_slowdown: fg_app.elapsed_cycles as f64 / solo.elapsed_cycles as f64,
+            truncated: outcome.truncated,
+            outcome,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cochar_workloads::Scale;
+
+    fn study() -> Study {
+        // tiny machine has 2 cores: 1 thread per app for pair runs.
+        Study::new(MachineConfig::tiny(), Arc::new(Registry::new(Scale::tiny())))
+            .with_threads(1)
+    }
+
+    #[test]
+    fn solo_is_cached() {
+        let s = study();
+        let a = s.solo("blackscholes");
+        let b = s.solo("blackscholes");
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(a.elapsed_cycles > 0);
+    }
+
+    #[test]
+    fn solo_cache_distinguishes_threads_and_msr() {
+        let s = study();
+        let t1 = s.solo_with_threads("blackscholes", 1);
+        let t2 = s.solo_with_threads("blackscholes", 2);
+        assert!(!Arc::ptr_eq(&t1, &t2));
+        assert!(t2.elapsed_cycles < t1.elapsed_cycles, "2 threads should be faster");
+    }
+
+    #[test]
+    fn pair_reports_slowdown_at_least_near_one() {
+        let s = study();
+        let p = s.pair("blackscholes", "swaptions");
+        assert!(!p.truncated);
+        // Compute-bound pair on separate cores: near-zero interference.
+        assert!(
+            (0.95..1.2).contains(&p.fg_slowdown),
+            "compute pair slowdown {}",
+            p.fg_slowdown
+        );
+    }
+
+    #[test]
+    fn memory_pair_interferes_more_than_compute_pair() {
+        let s = study();
+        let quiet = s.pair("stream", "swaptions").fg_slowdown;
+        let noisy = s.pair("stream", "stream").fg_slowdown;
+        assert!(
+            noisy > quiet + 0.1,
+            "stream vs stream ({noisy:.2}) must beat stream vs swaptions ({quiet:.2})"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown workload")]
+    fn unknown_name_panics_with_catalog() {
+        let s = study();
+        let _ = s.solo("no-such-app");
+    }
+
+    #[test]
+    fn trials_pick_median() {
+        let s = study().with_trials(3);
+        let r = s.solo("freqmine");
+        assert!(r.elapsed_cycles > 0);
+    }
+}

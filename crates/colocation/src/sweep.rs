@@ -1,0 +1,83 @@
+//! Parallel sweep driver for independent simulations.
+//!
+//! Every cell of the 25 x 25 heatmap (and every point of the scalability
+//! and sensitivity sweeps) is an independent simulation, so sweeps
+//! parallelize across host cores with a simple work-stealing index queue.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+/// Maps `f` over `items` using up to `available_parallelism` host threads,
+/// preserving order. Falls back to sequential execution for small inputs.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = std::thread::available_parallelism()
+        .map(|x| x.get())
+        .unwrap_or(1)
+        .min(items.len().max(1));
+    if workers <= 1 || items.len() <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    crossbeam::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                *slots[i].lock() = Some(r);
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().expect("sweep slot unfilled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = parallel_map(&items, |&x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let items: Vec<u64> = vec![];
+        let out = parallel_map(&items, |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_item() {
+        let out = parallel_map(&[7], |&x| x + 1);
+        assert_eq!(out, vec![8]);
+    }
+
+    #[test]
+    fn heavy_closure_runs_once_per_item() {
+        use std::sync::atomic::AtomicU64;
+        let calls = AtomicU64::new(0);
+        let items: Vec<u64> = (0..37).collect();
+        let out = parallel_map(&items, |&x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(out.len(), 37);
+        assert_eq!(calls.load(Ordering::Relaxed), 37);
+    }
+}

@@ -1,0 +1,161 @@
+//! Offender throttling evaluation (paper Sec. II-C's mitigation family).
+//!
+//! Wraps an offender's stream factory in a [`cochar_trace::gen::Throttle`]
+//! and sweeps the padding level, measuring the trade-off the compilation
+//! papers optimize: victim protection vs offender throughput loss. The
+//! useful output is the *knee* — the smallest padding that brings the
+//! victim under the QoS threshold.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use cochar_trace::gen::Throttle;
+use cochar_trace::{SlotStream, StreamFactory, StreamParams};
+use cochar_workloads::WorkloadSpec;
+use serde::{Deserialize, Serialize};
+
+use crate::classify::VICTIM_THRESHOLD;
+use crate::study::Study;
+
+/// One point of the throttling trade-off sweep.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ThrottlePoint {
+    /// Compute cycles padded after each offender memory access.
+    pub pad: u32,
+    /// Victim's slowdown vs its solo run.
+    pub victim_slowdown: f64,
+    /// Offender's own slowdown vs its unthrottled background throughput
+    /// (iterations-per-cycle ratio).
+    pub offender_slowdown: f64,
+}
+
+/// The full sweep plus the located knee.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ThrottleSweep {
+    /// Foreground (protected) application.
+    pub victim: String,
+    /// Background (throttled) application.
+    pub offender: String,
+    /// One point per padding level, in sweep order.
+    pub points: Vec<ThrottlePoint>,
+}
+
+impl ThrottleSweep {
+    /// Smallest padding that keeps the victim under the QoS (1.5x)
+    /// threshold, if any level achieves it.
+    pub fn knee(&self) -> Option<&ThrottlePoint> {
+        self.points.iter().find(|p| p.victim_slowdown < VICTIM_THRESHOLD)
+    }
+}
+
+/// Wraps `spec`'s factory so every thread's stream is throttled by `pad`
+/// cycles per memory access (optionally only at `sites`).
+pub fn throttled_spec(spec: &WorkloadSpec, pad: u32, sites: Option<HashSet<u32>>) -> WorkloadSpec {
+    let inner = spec.factory.clone();
+    let factory: Arc<dyn StreamFactory> = Arc::new(move |p: &StreamParams| {
+        let stream = inner.build(p);
+        let t = match &sites {
+            None => Throttle::all(stream, pad),
+            Some(s) => Throttle::sites(stream, pad, s.clone()),
+        };
+        Box::new(t) as Box<dyn SlotStream>
+    });
+    WorkloadSpec {
+        name: spec.name,
+        suite: spec.suite,
+        domain: spec.domain,
+        description: spec.description,
+        factory,
+    }
+}
+
+/// Sweeps throttling levels for `offender` (background) while `victim`
+/// runs in the foreground.
+pub fn sweep(study: &Study, victim: &str, offender: &str, pads: &[u32]) -> ThrottleSweep {
+    let offender_spec = study.spec(offender).clone();
+    // Unthrottled baseline: background progress per cycle.
+    let base = study.pair(victim, offender);
+    let base_bg_rate = bg_rate(&base);
+    let mut points = Vec::with_capacity(pads.len());
+    for &pad in pads {
+        let spec = throttled_spec(&offender_spec, pad, None);
+        let pair = study.pair_against(victim, &spec);
+        let rate = bg_rate(&pair);
+        points.push(ThrottlePoint {
+            pad,
+            victim_slowdown: pair.fg_slowdown,
+            offender_slowdown: if rate > 0.0 { base_bg_rate / rate } else { f64::INFINITY },
+        });
+    }
+    ThrottleSweep {
+        victim: victim.to_string(),
+        offender: offender.to_string(),
+        points,
+    }
+}
+
+/// Background progress rate: retired instructions per elapsed cycle
+/// (excluding the padding's own instructions would require pc filtering;
+/// memory accesses per cycle is the honest progress measure).
+fn bg_rate(pair: &crate::study::PairResult) -> f64 {
+    pair.bg.counters.accesses() as f64 / pair.bg.elapsed_cycles.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cochar_machine::MachineConfig;
+    use cochar_workloads::{Registry, Scale};
+
+    fn study() -> Study {
+        Study::new(MachineConfig::tiny(), Arc::new(Registry::new(Scale::tiny())))
+            .with_threads(1)
+    }
+
+    #[test]
+    fn throttling_reduces_victim_damage_monotonically_enough() {
+        let s = study();
+        let sw = sweep(&s, "stream", "stream", &[0, 40, 160]);
+        let v: Vec<f64> = sw.points.iter().map(|p| p.victim_slowdown).collect();
+        assert!(
+            v.last().unwrap() < v.first().unwrap(),
+            "heavy throttling must protect the victim: {v:?}"
+        );
+        // And it must cost the offender throughput.
+        let o: Vec<f64> = sw.points.iter().map(|p| p.offender_slowdown).collect();
+        assert!(o.last().unwrap() > &1.2, "offender must pay: {o:?}");
+    }
+
+    #[test]
+    fn knee_finds_first_protected_point() {
+        let sw = ThrottleSweep {
+            victim: "v".into(),
+            offender: "o".into(),
+            points: vec![
+                ThrottlePoint { pad: 0, victim_slowdown: 1.9, offender_slowdown: 1.0 },
+                ThrottlePoint { pad: 20, victim_slowdown: 1.45, offender_slowdown: 1.3 },
+                ThrottlePoint { pad: 40, victim_slowdown: 1.2, offender_slowdown: 1.8 },
+            ],
+        };
+        assert_eq!(sw.knee().unwrap().pad, 20);
+    }
+
+    #[test]
+    fn no_knee_when_nothing_protects() {
+        let sw = ThrottleSweep {
+            victim: "v".into(),
+            offender: "o".into(),
+            points: vec![ThrottlePoint { pad: 0, victim_slowdown: 2.0, offender_slowdown: 1.0 }],
+        };
+        assert!(sw.knee().is_none());
+    }
+
+    #[test]
+    fn throttled_spec_keeps_identity_fields() {
+        let s = study();
+        let spec = s.spec("stream").clone();
+        let t = throttled_spec(&spec, 10, None);
+        assert_eq!(t.name, spec.name);
+        assert_eq!(t.suite, spec.suite);
+    }
+}

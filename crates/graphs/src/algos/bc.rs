@@ -1,0 +1,122 @@
+//! Betweenness centrality (Brandes' algorithm, single source).
+
+use std::sync::Arc;
+
+use crate::csr::Csr;
+use crate::job::{GraphJob, Phase};
+
+/// Single-source Brandes betweenness contribution: for each vertex `w`,
+/// the dependency of `root` on `w`.
+pub fn betweenness(csr: &Csr, root: u32) -> Vec<f64> {
+    let n = csr.vertices() as usize;
+    let mut delta = vec![0.0f64; n];
+    if n == 0 {
+        return delta;
+    }
+    // Forward: BFS computing sigma (shortest-path counts) and levels.
+    let mut sigma = vec![0.0f64; n];
+    let mut level = vec![-1i32; n];
+    sigma[root as usize] = 1.0;
+    level[root as usize] = 0;
+    let mut stack: Vec<u32> = Vec::new();
+    let mut frontier = vec![root];
+    let mut depth = 0;
+    while !frontier.is_empty() {
+        depth += 1;
+        stack.extend_from_slice(&frontier);
+        let mut next = Vec::new();
+        for &v in &frontier {
+            for &t in csr.neighbors(v) {
+                if level[t as usize] < 0 {
+                    level[t as usize] = depth;
+                    next.push(t);
+                }
+                if level[t as usize] == depth {
+                    sigma[t as usize] += sigma[v as usize];
+                }
+            }
+        }
+        frontier = next;
+    }
+    // Backward: accumulate dependencies in reverse BFS order.
+    for &w in stack.iter().rev() {
+        for &t in csr.neighbors(w) {
+            if level[t as usize] == level[w as usize] + 1 && sigma[t as usize] > 0.0 {
+                delta[w as usize] +=
+                    sigma[w as usize] / sigma[t as usize] * (1.0 + delta[t as usize]);
+            }
+        }
+    }
+    delta[root as usize] = 0.0;
+    delta
+}
+
+/// Execution structure of Brandes BC: the forward BFS phases followed by
+/// the same levels scanned in reverse for dependency accumulation. Every
+/// reachable vertex is visited exactly twice — still "lightweight" in the
+/// paper's terms (like BFS), but with double the phase count.
+pub fn bc_job(csr: &Csr, root: u32) -> GraphJob {
+    let fronts = crate::algos::bfs::bfs_frontiers(csr, root);
+    let mut phases: Vec<Phase> = fronts
+        .iter()
+        .map(|f| Phase::sparse(Arc::new(f.clone()), 2, 3))
+        .collect();
+    for f in fronts.iter().rev() {
+        phases.push(Phase::sparse(Arc::new(f.clone()), 2, 4));
+    }
+    GraphJob::new(phases)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_graph_centrality() {
+        // 0 -> 1 -> 2 -> 3: vertex 1 lies on paths to 2 and 3 (delta 2),
+        // vertex 2 on the path to 3 (delta 1).
+        let g = Csr::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let d = betweenness(&g, 0);
+        assert_eq!(d[0], 0.0);
+        assert!((d[1] - 2.0).abs() < 1e-12);
+        assert!((d[2] - 1.0).abs() < 1e-12);
+        assert_eq!(d[3], 0.0);
+    }
+
+    #[test]
+    fn diamond_splits_dependency() {
+        // 0 -> {1,2} -> 3: two shortest paths to 3; each middle vertex
+        // carries half of 3's dependency.
+        let g = Csr::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let d = betweenness(&g, 0);
+        assert!((d[1] - 0.5).abs() < 1e-12);
+        assert!((d[2] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn root_has_zero_dependency() {
+        let g = crate::csr::Csr::rmat(&crate::rmat::RmatConfig::skewed(8, 4, 2));
+        let d = betweenness(&g, 0);
+        assert_eq!(d[0], 0.0);
+        assert!(d.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn job_visits_each_reachable_vertex_twice() {
+        let g = crate::csr::Csr::rmat(&crate::rmat::RmatConfig::skewed(8, 4, 7));
+        let reachable = crate::algos::bfs::bfs_levels(&g, 0)
+            .iter()
+            .filter(|&&l| l >= 0)
+            .count() as u64;
+        let job = bc_job(&g, 0);
+        assert_eq!(job.total_active(g.vertices()), 2 * reachable);
+    }
+
+    #[test]
+    fn disconnected_vertices_do_not_contribute() {
+        let g = Csr::from_edges(4, &[(0, 1), (2, 3)]);
+        let d = betweenness(&g, 0);
+        assert_eq!(d[2], 0.0);
+        assert_eq!(d[3], 0.0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Breadth-first search.
+
+use std::sync::Arc;
+
+use crate::csr::Csr;
+use crate::job::{GraphJob, Phase};
+
+/// Level (hop distance) of every vertex from `root`; `-1` if unreachable.
+pub fn bfs_levels(csr: &Csr, root: u32) -> Vec<i32> {
+    let n = csr.vertices() as usize;
+    let mut level = vec![-1i32; n];
+    if n == 0 {
+        return level;
+    }
+    level[root as usize] = 0;
+    let mut frontier = vec![root];
+    let mut depth = 0;
+    while !frontier.is_empty() {
+        depth += 1;
+        let mut next = Vec::new();
+        for &v in &frontier {
+            for &t in csr.neighbors(v) {
+                if level[t as usize] < 0 {
+                    level[t as usize] = depth;
+                    next.push(t);
+                }
+            }
+        }
+        frontier = next;
+    }
+    level
+}
+
+/// The frontiers (one `Vec` per level, starting with `[root]`).
+pub fn bfs_frontiers(csr: &Csr, root: u32) -> Vec<Vec<u32>> {
+    let levels = bfs_levels(csr, root);
+    let max = levels.iter().copied().max().unwrap_or(-1);
+    if max < 0 {
+        return Vec::new();
+    }
+    let mut out: Vec<Vec<u32>> = vec![Vec::new(); (max + 1) as usize];
+    for (v, &l) in levels.iter().enumerate() {
+        if l >= 0 {
+            out[l as usize].push(v as u32);
+        }
+    }
+    out
+}
+
+/// The execution structure of a BFS from `root`: one sparse phase per
+/// level. BFS touches each vertex once — the "lightweight memory access"
+/// that keeps G-BFS comparatively LLC-friendly in the paper (Sec. VI-B).
+pub fn bfs_job(csr: &Csr, root: u32) -> GraphJob {
+    let phases = bfs_frontiers(csr, root)
+        .into_iter()
+        .map(|f| Phase::sparse(Arc::new(f), 1, 2))
+        .collect();
+    GraphJob::new(phases)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Csr {
+        Csr::from_edges(5, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)])
+    }
+
+    #[test]
+    fn levels_are_hop_distances() {
+        let l = bfs_levels(&diamond(), 0);
+        assert_eq!(l, vec![0, 1, 1, 2, 3]);
+    }
+
+    #[test]
+    fn unreachable_vertices_are_minus_one() {
+        let g = Csr::from_edges(4, &[(0, 1), (2, 3)]);
+        let l = bfs_levels(&g, 0);
+        assert_eq!(l, vec![0, 1, -1, -1]);
+    }
+
+    #[test]
+    fn frontiers_partition_reachable_vertices() {
+        let f = bfs_frontiers(&diamond(), 0);
+        assert_eq!(f.len(), 4);
+        assert_eq!(f[0], vec![0]);
+        assert_eq!(f[1], vec![1, 2]);
+        assert_eq!(f[2], vec![3]);
+        assert_eq!(f[3], vec![4]);
+    }
+
+    #[test]
+    fn job_scans_each_reachable_vertex_once() {
+        let g = crate::csr::Csr::rmat(&crate::rmat::RmatConfig::skewed(8, 4, 9));
+        let job = bfs_job(&g, 0);
+        let reachable = bfs_levels(&g, 0).iter().filter(|&&l| l >= 0).count() as u64;
+        assert_eq!(job.total_active(g.vertices()), reachable);
+    }
+
+    #[test]
+    fn empty_graph_has_no_phases() {
+        let g = Csr::from_edges(1, &[]);
+        let job = bfs_job(&g, 0);
+        assert_eq!(job.phases.len(), 1); // just the root's own level
+    }
+}

@@ -1,0 +1,117 @@
+//! Connected components by label propagation.
+
+use std::sync::Arc;
+
+use crate::csr::Csr;
+use crate::job::{GraphJob, Phase};
+
+/// Component labels via symmetric label propagation (edges treated as
+/// undirected, as graph frameworks' CC implementations do): every vertex's
+/// label converges to the minimum vertex id in its weakly connected
+/// component.
+pub fn cc_labels(csr: &Csr) -> Vec<u32> {
+    let (labels, _) = cc_with_rounds(csr);
+    labels
+}
+
+/// Labels plus the per-round changed-vertex sets (round 0 is the initial
+/// all-vertices scan).
+pub fn cc_with_rounds(csr: &Csr) -> (Vec<u32>, Vec<Vec<u32>>) {
+    let n = csr.vertices() as usize;
+    let mut label: Vec<u32> = (0..csr.vertices()).collect();
+    let mut rounds = Vec::new();
+    if n == 0 {
+        return (label, rounds);
+    }
+    // Build the symmetric neighbour view once.
+    let rev = csr.transpose();
+    let mut active: Vec<u32> = (0..csr.vertices()).collect();
+    while !active.is_empty() {
+        rounds.push(active.clone());
+        let mut changed = Vec::new();
+        for &v in &active {
+            let mut m = label[v as usize];
+            for &t in csr.neighbors(v).iter().chain(rev.neighbors(v)) {
+                m = m.min(label[t as usize]);
+            }
+            if m < label[v as usize] {
+                label[v as usize] = m;
+                changed.push(v);
+            }
+        }
+        // A changed vertex's neighbours must re-check next round.
+        let mut next: Vec<u32> = Vec::new();
+        let mut mark = vec![false; n];
+        for &v in &changed {
+            for &t in csr.neighbors(v).iter().chain(rev.neighbors(v)) {
+                if !mark[t as usize] {
+                    mark[t as usize] = true;
+                    next.push(t);
+                }
+            }
+        }
+        next.sort_unstable();
+        active = next;
+    }
+    (label, rounds)
+}
+
+/// The execution structure of label-propagation CC: a dense first round
+/// followed by shrinking changed-vertex rounds. High edge traffic in early
+/// rounds is what makes G-CC one of the paper's most bandwidth-hungry and
+/// interference-prone applications.
+pub fn cc_job(csr: &Csr) -> GraphJob {
+    let (_, rounds) = cc_with_rounds(csr);
+    let phases = rounds
+        .into_iter()
+        .map(|r| Phase::sparse(Arc::new(r), 1, 2))
+        .collect();
+    GraphJob::new(phases)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_components() {
+        let g = Csr::from_edges(6, &[(0, 1), (1, 2), (3, 4), (4, 5)]);
+        let l = cc_labels(&g);
+        assert_eq!(l, vec![0, 0, 0, 3, 3, 3]);
+    }
+
+    #[test]
+    fn direction_is_ignored() {
+        // 2 -> 0: still one component {0, 1, 2}.
+        let g = Csr::from_edges(3, &[(0, 1), (2, 0)]);
+        assert_eq!(cc_labels(&g), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn isolated_vertices_keep_own_label() {
+        let g = Csr::from_edges(3, &[]);
+        assert_eq!(cc_labels(&g), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn rounds_shrink_and_terminate() {
+        let g = crate::csr::Csr::rmat(&crate::rmat::RmatConfig::skewed(9, 8, 4));
+        let (_, rounds) = cc_with_rounds(&g);
+        assert!(!rounds.is_empty());
+        assert_eq!(rounds[0].len(), g.vertices() as usize);
+        assert!(rounds.len() < 64, "label propagation must converge quickly");
+    }
+
+    #[test]
+    fn labels_are_component_minima() {
+        let g = Csr::from_edges(5, &[(4, 3), (3, 2), (2, 1), (1, 0)]);
+        assert_eq!(cc_labels(&g), vec![0, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn job_first_phase_is_dense() {
+        let g = Csr::from_edges(4, &[(0, 1), (2, 3)]);
+        let job = cc_job(&g);
+        assert_eq!(job.phases[0].active.len(4), 4);
+    }
+}

@@ -1,0 +1,20 @@
+//! The paper's five graph-analytics algorithms.
+//!
+//! Each module computes the algorithm *for real* on the synthetic graph
+//! (ranks, levels, distances, labels, centrality scores are actual values,
+//! unit-tested against hand-checked graphs), and exposes a `*_job`
+//! function that captures the execution's phase structure — which vertex
+//! sets are scanned, in what order, at what per-edge cost — as a
+//! [`crate::job::GraphJob`] the engine models replay as memory traffic.
+
+pub mod bc;
+pub mod bfs;
+pub mod cc;
+pub mod pr;
+pub mod sssp;
+
+pub use bc::{bc_job, betweenness};
+pub use bfs::{bfs_job, bfs_levels};
+pub use cc::{cc_job, cc_labels};
+pub use pr::{pagerank, pagerank_job};
+pub use sssp::{sssp_distances, sssp_job, unit_weight};

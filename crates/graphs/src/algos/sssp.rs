@@ -1,0 +1,150 @@
+//! Single-source shortest paths (label-correcting Bellman–Ford rounds).
+
+use std::sync::Arc;
+
+use crate::csr::Csr;
+use crate::job::{GraphJob, Phase};
+
+/// Deterministic synthetic edge weight in `1..=8`.
+///
+/// The CSR stores no weights; real inputs carry them out-of-band. The paper
+/// notes PowerGraph's SSSP assumes *identical* weights (the cause of
+/// P-SSSP's poor scalability); pass `unit = true` to reproduce that
+/// behaviour, which collapses SSSP into BFS-like round structure.
+pub fn edge_weight(u: u32, v: u32, unit: bool) -> u64 {
+    if unit {
+        1
+    } else {
+        u64::from((u.wrapping_mul(31).wrapping_add(v.wrapping_mul(17))) % 8) + 1
+    }
+}
+
+/// Shortest distances from `root` (`u64::MAX` if unreachable), plus the
+/// per-round relaxation frontiers.
+pub fn sssp_with_rounds(csr: &Csr, root: u32, unit: bool) -> (Vec<u64>, Vec<Vec<u32>>) {
+    let n = csr.vertices() as usize;
+    let mut dist = vec![u64::MAX; n];
+    let mut rounds = Vec::new();
+    if n == 0 {
+        return (dist, rounds);
+    }
+    dist[root as usize] = 0;
+    let mut frontier = vec![root];
+    // Label-correcting rounds: each vertex may be relaxed multiple times
+    // with non-unit weights, so cap rounds at |V| for safety.
+    let mut guard = 0;
+    while !frontier.is_empty() && guard <= n {
+        guard += 1;
+        rounds.push(frontier.clone());
+        let mut changed = Vec::new();
+        let mut mark = vec![false; n];
+        for &v in &frontier {
+            let dv = dist[v as usize];
+            for &t in csr.neighbors(v) {
+                let w = edge_weight(v, t, unit);
+                let cand = dv.saturating_add(w);
+                if cand < dist[t as usize] {
+                    dist[t as usize] = cand;
+                    if !mark[t as usize] {
+                        mark[t as usize] = true;
+                        changed.push(t);
+                    }
+                }
+            }
+        }
+        changed.sort_unstable();
+        frontier = changed;
+    }
+    (dist, rounds)
+}
+
+/// Shortest distances from `root`.
+pub fn sssp_distances(csr: &Csr, root: u32, unit: bool) -> Vec<u64> {
+    sssp_with_rounds(csr, root, unit).0
+}
+
+/// Execution structure of SSSP: one sparse phase per relaxation round.
+/// With non-unit weights vertices re-activate, so the job scans more
+/// vertex-visits than BFS — the irregular access pattern the paper blames
+/// for G-SSSP's flatter scaling curve.
+pub fn sssp_job(csr: &Csr, root: u32, unit: bool) -> GraphJob {
+    let (_, rounds) = sssp_with_rounds(csr, root, unit);
+    let phases = rounds
+        .into_iter()
+        .map(|r| Phase::sparse(Arc::new(r), 2, 2))
+        .collect();
+    GraphJob::new(phases)
+}
+
+/// Re-export used by the workload registry: `unit_weight(u, v)`.
+pub fn unit_weight(u: u32, v: u32) -> u64 {
+    edge_weight(u, v, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_weights_reduce_to_hop_counts() {
+        let g = Csr::from_edges(5, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)]);
+        let d = sssp_distances(&g, 0, true);
+        assert_eq!(d, vec![0, 1, 1, 2, 3]);
+    }
+
+    #[test]
+    fn weighted_distances_respect_weights() {
+        // Parallel paths 0 -> 1 -> 3 and 0 -> 2 -> 3: check dist equals
+        // the cheaper sum of synthetic weights.
+        let g = Csr::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let d = sssp_distances(&g, 0, false);
+        let p1 = edge_weight(0, 1, false) + edge_weight(1, 3, false);
+        let p2 = edge_weight(0, 2, false) + edge_weight(2, 3, false);
+        assert_eq!(d[3], p1.min(p2));
+    }
+
+    #[test]
+    fn unreachable_is_max() {
+        let g = Csr::from_edges(3, &[(0, 1)]);
+        let d = sssp_distances(&g, 0, false);
+        assert_eq!(d[2], u64::MAX);
+    }
+
+    #[test]
+    fn weighted_visits_at_least_as_many_as_unit() {
+        let g = crate::csr::Csr::rmat(&crate::rmat::RmatConfig::skewed(9, 8, 6));
+        let unit_job = sssp_job(&g, 0, true);
+        let weighted_job = sssp_job(&g, 0, false);
+        let n = g.vertices();
+        assert!(weighted_job.total_active(n) >= unit_job.total_active(n));
+    }
+
+    #[test]
+    fn weights_are_deterministic_and_bounded() {
+        for u in 0..100 {
+            for v in 0..10 {
+                let w = edge_weight(u, v, false);
+                assert!((1..=8).contains(&w));
+                assert_eq!(w, edge_weight(u, v, false));
+            }
+        }
+    }
+
+    #[test]
+    fn distances_satisfy_triangle_property() {
+        // For every edge (u, v): dist[v] <= dist[u] + w(u, v).
+        let g = crate::csr::Csr::rmat(&crate::rmat::RmatConfig::skewed(8, 4, 3));
+        let d = sssp_distances(&g, 0, false);
+        for u in 0..g.vertices() {
+            if d[u as usize] == u64::MAX {
+                continue;
+            }
+            for &v in g.neighbors(u) {
+                assert!(
+                    d[v as usize] <= d[u as usize] + edge_weight(u, v, false),
+                    "edge ({u},{v}) violates relaxation"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Compressed sparse row graph storage.
+
+use crate::rmat::RmatConfig;
+
+/// A directed graph in CSR form (out-edges), with uniform edge weights of
+/// 1 available implicitly — mirroring the paper's observation that
+/// PowerGraph's SSSP assumes identical edge weights.
+#[derive(Clone, Debug)]
+pub struct Csr {
+    offsets: Vec<u64>,
+    targets: Vec<u32>,
+}
+
+impl Csr {
+    /// Builds a CSR from an edge list over `n` vertices (counting sort by
+    /// source; duplicates and self-loops are kept, as frameworks do).
+    pub fn from_edges(n: u32, edges: &[(u32, u32)]) -> Self {
+        let n = n as usize;
+        let mut counts = vec![0u64; n + 1];
+        for &(s, _) in edges {
+            counts[s as usize + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts.clone();
+        let mut cursor = counts;
+        let mut targets = vec![0u32; edges.len()];
+        for &(s, d) in edges {
+            let pos = cursor[s as usize];
+            targets[pos as usize] = d;
+            cursor[s as usize] += 1;
+        }
+        Csr { offsets, targets }
+    }
+
+    /// Generates an R-MAT graph and builds its CSR in one step.
+    pub fn rmat(cfg: &RmatConfig) -> Self {
+        Self::from_edges(cfg.vertices(), &cfg.generate())
+    }
+
+    /// Vertex count.
+    pub fn vertices(&self) -> u32 {
+        (self.offsets.len() - 1) as u32
+    }
+
+    /// Edge count.
+    pub fn edges(&self) -> u64 {
+        self.targets.len() as u64
+    }
+
+    /// Out-degree of `v`.
+    pub fn degree(&self, v: u32) -> u64 {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// Edge-array index range of `v`'s out-edges.
+    pub fn edge_range(&self, v: u32) -> std::ops::Range<u64> {
+        self.offsets[v as usize]..self.offsets[v as usize + 1]
+    }
+
+    /// Target of the edge at absolute edge-array index `e`.
+    #[inline]
+    pub fn target(&self, e: u64) -> u32 {
+        self.targets[e as usize]
+    }
+
+    /// Neighbours of `v`.
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        let r = self.edge_range(v);
+        &self.targets[r.start as usize..r.end as usize]
+    }
+
+    /// The transposed graph (in-edges become out-edges) — what gather-mode
+    /// engines traverse.
+    pub fn transpose(&self) -> Csr {
+        let n = self.vertices();
+        let mut rev = Vec::with_capacity(self.targets.len());
+        for v in 0..n {
+            for &d in self.neighbors(v) {
+                rev.push((d, v));
+            }
+        }
+        Csr::from_edges(n, &rev)
+    }
+
+    /// Sum of degrees over a vertex slice — used for degree-balanced
+    /// (Gemini-style) partitioning.
+    pub fn degree_sum(&self, vs: &[u32]) -> u64 {
+        vs.iter().map(|&v| self.degree(v)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Csr {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        Csr::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn csr_structure() {
+        let g = diamond();
+        assert_eq!(g.vertices(), 4);
+        assert_eq!(g.edges(), 4);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(3), 0);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(1), &[3]);
+    }
+
+    #[test]
+    fn unsorted_edge_list_is_grouped() {
+        let g = Csr::from_edges(3, &[(2, 0), (0, 1), (2, 1), (0, 2)]);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(1), &[] as &[u32]);
+        assert_eq!(g.neighbors(2), &[0, 1]);
+    }
+
+    #[test]
+    fn transpose_reverses_edges() {
+        let g = diamond();
+        let t = g.transpose();
+        assert_eq!(t.edges(), 4);
+        assert_eq!(t.neighbors(3), &[1, 2]);
+        assert_eq!(t.neighbors(0), &[] as &[u32]);
+        // Transposing twice restores the degree sequence.
+        let tt = t.transpose();
+        for v in 0..4 {
+            assert_eq!(tt.degree(v), g.degree(v));
+        }
+    }
+
+    #[test]
+    fn edge_range_covers_all_edges_disjointly() {
+        let g = Csr::rmat(&RmatConfig::skewed(8, 4, 5));
+        let mut total = 0;
+        let mut prev_end = 0;
+        for v in 0..g.vertices() {
+            let r = g.edge_range(v);
+            assert_eq!(r.start, prev_end);
+            prev_end = r.end;
+            total += r.end - r.start;
+        }
+        assert_eq!(total, g.edges());
+    }
+
+    #[test]
+    fn degree_sum_matches_manual() {
+        let g = diamond();
+        assert_eq!(g.degree_sum(&[0, 1]), 3);
+        assert_eq!(g.degree_sum(&[]), 0);
+        assert_eq!(g.degree_sum(&[0, 1, 2, 3]), 4);
+    }
+
+    #[test]
+    fn rmat_csr_roundtrip_preserves_edge_count() {
+        let cfg = RmatConfig::skewed(10, 8, 11);
+        let g = Csr::rmat(&cfg);
+        assert_eq!(g.edges(), cfg.edges());
+        assert_eq!(g.vertices(), cfg.vertices());
+    }
+}

@@ -1,0 +1,534 @@
+//! Engine models: translating a [`GraphJob`](crate::job::GraphJob) into
+//! per-thread memory-access streams.
+//!
+//! Both engines replay the *same real traversal* (same graph, same active
+//! sets); they differ in work partitioning and per-edge bookkeeping, which
+//! is exactly where GeminiGraph and PowerGraph differ for the purposes of
+//! the paper's characterization:
+//!
+//! | | Gemini model | PowerGraph model |
+//! |---|---|---|
+//! | vertex → thread | contiguous, degree-balanced chunks | hashed 16-vertex blocks |
+//! | edge-array locality | sequential within chunk | short runs, frequent breaks |
+//! | per-edge traffic | edge id + vertex data | + mirror accumulator (GAS) |
+//! | gather dependence | overlapped (OoO window) | serialized (per-edge calls) |
+//! | per-edge compute | low | higher (vertex-cut bookkeeping) |
+
+pub mod gemini;
+pub mod power;
+
+use std::sync::Arc;
+
+use cochar_trace::{ArrayRef, Region, Slot, SlotStream};
+
+use crate::csr::Csr;
+use crate::job::{ActiveSet, GraphJob, Phase};
+
+/// Synthetic program counters for graph access sites (used by the IP
+/// prefetcher and by profiling attribution, mirroring the paper's Fig. 9/10
+/// code-region analysis).
+pub mod pc {
+    /// Offset-array load (sequential-ish).
+    pub const OFFSETS: u32 = 0;
+    /// Edge-array load (sequential within a chunk).
+    pub const EDGES: u32 = 1;
+    /// Vertex-data gather (irregular, dependent) — the `gather` hot spot.
+    pub const GATHER: u32 = 2;
+    /// Per-vertex result store (apply).
+    pub const APPLY: u32 = 3;
+    /// PowerGraph mirror-accumulator access.
+    pub const MIRROR: u32 = 4;
+
+    /// Human-readable label of a graph access site (for hot-spot reports,
+    /// mirroring the paper's Fig. 9/10 source-line attribution).
+    pub fn name(pc: u32) -> &'static str {
+        match pc {
+            OFFSETS => "offsets[] (index lookup)",
+            EDGES => "edges[] (edge scan)",
+            GATHER => "gather: data[target]",
+            APPLY => "apply: result[v] store",
+            MIRROR => "GAS mirror accumulator",
+            _ => "other",
+        }
+    }
+}
+
+/// Bytes per vertex record in the gather-target array. Real frameworks
+/// keep multi-field vertex state (PowerGraph vertex data is a full user
+/// struct; Gemini keeps rank/delta/degree), so a gather touches its own
+/// cache line per vertex — this is what makes graph vertex state vastly
+/// exceed the LLC on real inputs (friendster: 65.6 M vertices).
+pub const VERTEX_DATA_BYTES: u64 = 128;
+/// Bytes per per-vertex result record.
+pub const VERTEX_RESULT_BYTES: u64 = 16;
+/// Bytes per GAS mirror accumulator record.
+pub const VERTEX_MIRROR_BYTES: u64 = 32;
+
+/// Address-space layout of a graph instance.
+#[derive(Clone, Copy, Debug)]
+pub struct GraphLayout {
+    /// CSR offsets array, `n + 1` u64 entries.
+    pub offsets: ArrayRef,
+    /// CSR edge-target array, `m` u64 entries.
+    pub edges: ArrayRef,
+    /// Source vertex records (ranks, labels, distances), `n` entries of
+    /// [`VERTEX_DATA_BYTES`].
+    pub data: ArrayRef,
+    /// Destination vertex records, `n` entries of [`VERTEX_RESULT_BYTES`].
+    pub result: ArrayRef,
+    /// GAS mirror accumulators (PowerGraph only), `n` entries of
+    /// [`VERTEX_MIRROR_BYTES`].
+    pub mirrors: ArrayRef,
+}
+
+impl GraphLayout {
+    /// Carves the layout from `region`.
+    ///
+    /// # Panics
+    /// Panics if the region is too small for the graph (use
+    /// [`GraphLayout::bytes_needed`] to size it).
+    pub fn new(region: &mut Region, n: u32, m: u64) -> Self {
+        let n = u64::from(n);
+        GraphLayout {
+            offsets: region.array(n + 1, 8),
+            edges: region.array(m.max(1), 8),
+            data: region.array(n, VERTEX_DATA_BYTES),
+            result: region.array(n, VERTEX_RESULT_BYTES),
+            mirrors: region.array(n, VERTEX_MIRROR_BYTES),
+        }
+    }
+
+    /// Bytes needed to hold a graph of `n` vertices and `m` edges.
+    pub fn bytes_needed(n: u32, m: u64) -> u64 {
+        let n = u64::from(n);
+        ((n + 1) + m.max(1)) * 8
+            + n * (VERTEX_DATA_BYTES + VERTEX_RESULT_BYTES + VERTEX_MIRROR_BYTES)
+            + 5 * 64
+    }
+
+    /// Total footprint in bytes.
+    pub fn footprint(&self) -> u64 {
+        self.offsets.bytes()
+            + self.edges.bytes()
+            + self.data.bytes()
+            + self.result.bytes()
+            + self.mirrors.bytes()
+    }
+}
+
+/// Which engine model to use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineKind {
+    /// Chunked, degree-balanced partitioning (GeminiGraph model).
+    Gemini,
+    /// Hashed vertex-cut GAS with mirror traffic (PowerGraph model).
+    Power,
+}
+
+/// One phase's share of work for one thread.
+struct PhaseWork {
+    vertices: Vec<u32>,
+    compute_per_edge: u32,
+    compute_per_vertex: u32,
+    store_result: bool,
+    gas_mirrors: bool,
+    /// Whether gather loads serialize behind their edge load. Gemini's
+    /// tight edge loops let the out-of-order window run the edge stream
+    /// far ahead of the gathers (effectively independent); PowerGraph's
+    /// per-edge virtual `gather()` calls defeat that overlap.
+    gather_dep: bool,
+}
+
+/// The per-thread stream: replays the thread's share of every phase of the
+/// job against the graph's address layout.
+pub struct EdgeScan {
+    csr: Arc<Csr>,
+    layout: GraphLayout,
+    work: Vec<PhaseWork>,
+    phase: usize,
+    vidx: usize,
+    v: u32,
+    e: u64,
+    e_end: u64,
+    state: ScanState,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ScanState {
+    VertexStart,
+    EdgeIdx,
+    EdgeData,
+    EdgeMirror,
+    EdgeAdvance,
+    VertexApply,
+    VertexStore,
+    NextVertex,
+}
+
+impl EdgeScan {
+    fn new(csr: Arc<Csr>, layout: GraphLayout, work: Vec<PhaseWork>) -> Self {
+        EdgeScan {
+            csr,
+            layout,
+            work,
+            phase: 0,
+            vidx: 0,
+            v: 0,
+            e: 0,
+            e_end: 0,
+            state: ScanState::VertexStart,
+        }
+    }
+
+    fn cur(&self) -> &PhaseWork {
+        &self.work[self.phase]
+    }
+}
+
+impl SlotStream for EdgeScan {
+    fn next_slot(&mut self) -> Option<Slot> {
+        loop {
+            if self.phase >= self.work.len() {
+                return None;
+            }
+            match self.state {
+                ScanState::VertexStart => {
+                    if self.vidx >= self.cur().vertices.len() {
+                        self.phase += 1;
+                        self.vidx = 0;
+                        continue;
+                    }
+                    self.v = self.cur().vertices[self.vidx];
+                    let r = self.csr.edge_range(self.v);
+                    self.e = r.start;
+                    self.e_end = r.end;
+                    self.state = ScanState::EdgeIdx;
+                    return Some(Slot::Load {
+                        addr: self.layout.offsets.at(u64::from(self.v)),
+                        pc: pc::OFFSETS,
+                        dep: false,
+                    });
+                }
+                ScanState::EdgeIdx => {
+                    if self.e >= self.e_end {
+                        self.state = ScanState::VertexApply;
+                        continue;
+                    }
+                    self.state = ScanState::EdgeData;
+                    return Some(Slot::Load {
+                        addr: self.layout.edges.at(self.e),
+                        pc: pc::EDGES,
+                        dep: false,
+                    });
+                }
+                ScanState::EdgeData => {
+                    let target = u64::from(self.csr.target(self.e));
+                    let dep = self.cur().gather_dep;
+                    self.state = if self.cur().gas_mirrors {
+                        ScanState::EdgeMirror
+                    } else {
+                        ScanState::EdgeAdvance
+                    };
+                    return Some(Slot::Load {
+                        addr: self.layout.data.at(target),
+                        pc: pc::GATHER,
+                        dep,
+                    });
+                }
+                ScanState::EdgeMirror => {
+                    // The accumulator index comes from the same edge
+                    // record as the gather, so the access is independent
+                    // of the gather's value (issues in parallel).
+                    let target = u64::from(self.csr.target(self.e));
+                    self.state = ScanState::EdgeAdvance;
+                    return Some(Slot::Load {
+                        addr: self.layout.mirrors.at(target),
+                        pc: pc::MIRROR,
+                        dep: false,
+                    });
+                }
+                ScanState::EdgeAdvance => {
+                    self.e += 1;
+                    self.state = ScanState::EdgeIdx;
+                    let c = self.cur().compute_per_edge;
+                    if c > 0 {
+                        return Some(Slot::Compute(c));
+                    }
+                }
+                ScanState::VertexApply => {
+                    self.state = ScanState::VertexStore;
+                    let c = self.cur().compute_per_vertex;
+                    if c > 0 {
+                        return Some(Slot::Compute(c));
+                    }
+                }
+                ScanState::VertexStore => {
+                    self.state = ScanState::NextVertex;
+                    if self.cur().store_result {
+                        return Some(Slot::Store {
+                            addr: self.layout.result.at(u64::from(self.v)),
+                            pc: pc::APPLY,
+                        });
+                    }
+                }
+                ScanState::NextVertex => {
+                    self.vidx += 1;
+                    self.state = ScanState::VertexStart;
+                }
+            }
+        }
+    }
+}
+
+/// Builds the per-thread stream for `thread` of `threads` under the given
+/// engine model.
+pub fn build_stream(
+    kind: EngineKind,
+    csr: &Arc<Csr>,
+    layout: GraphLayout,
+    job: &GraphJob,
+    thread: usize,
+    threads: usize,
+) -> EdgeScan {
+    assert!(thread < threads);
+    let work = job
+        .phases
+        .iter()
+        .map(|p| phase_work(kind, csr, p, thread, threads))
+        .collect();
+    EdgeScan::new(csr.clone(), layout, work)
+}
+
+fn phase_work(kind: EngineKind, csr: &Csr, p: &Phase, thread: usize, threads: usize) -> PhaseWork {
+    let vertices = match kind {
+        EngineKind::Gemini => gemini_share(csr, &p.active, thread, threads),
+        EngineKind::Power => power_share(csr, &p.active, thread, threads),
+    };
+    let (extra_edge_compute, gas, gather_dep) = match kind {
+        EngineKind::Gemini => (0, false, false),
+        // Vertex-cut bookkeeping: mirror sync + accumulator combine, and
+        // per-edge gather calls that serialize the dependent load.
+        EngineKind::Power => (1, true, true),
+    };
+    PhaseWork {
+        vertices,
+        compute_per_edge: p.compute_per_edge + extra_edge_compute,
+        compute_per_vertex: p.compute_per_vertex,
+        store_result: p.store_result,
+        gas_mirrors: gas,
+        gather_dep,
+    }
+}
+
+/// Gemini: contiguous slice of the active set, balanced by degree sum
+/// (the chunking + work-stealing approximation).
+fn gemini_share(csr: &Csr, active: &ActiveSet, thread: usize, threads: usize) -> Vec<u32> {
+    let list: Vec<u32> = match active {
+        ActiveSet::All => (0..csr.vertices()).collect(),
+        ActiveSet::List(l) => l.to_vec(),
+    };
+    let total: u64 = csr.degree_sum(&list) + list.len() as u64;
+    let lo = total * thread as u64 / threads as u64;
+    let hi = total * (thread as u64 + 1) / threads as u64;
+    let mut out = Vec::new();
+    let mut acc = 0u64;
+    for &v in &list {
+        if acc >= lo && acc < hi {
+            out.push(v);
+        }
+        acc += csr.degree(v) + 1;
+        if acc >= hi {
+            break;
+        }
+    }
+    out
+}
+
+/// PowerGraph: hashed block assignment (random vertex-cut model). Blocks
+/// of [`POWER_BLOCK`] vertices are assigned to threads by a multiplicative
+/// hash: balanced in expectation like PowerGraph's random partitioning,
+/// with short sequential runs inside each block, but no degree-aware
+/// balancing and regular locality breaks at block boundaries.
+fn power_share(csr: &Csr, active: &ActiveSet, thread: usize, threads: usize) -> Vec<u32> {
+    let list: Vec<u32> = match active {
+        ActiveSet::All => (0..csr.vertices()).collect(),
+        ActiveSet::List(l) => l.to_vec(),
+    };
+    list.chunks(POWER_BLOCK)
+        .enumerate()
+        .filter(|(i, _)| {
+            let h = (*i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+            (h % threads as u64) as usize == thread
+        })
+        .flat_map(|(_, c)| c.iter().copied())
+        .collect()
+}
+
+/// Vertices per hashed block in the PowerGraph partition model.
+const POWER_BLOCK: usize = 16;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rmat::RmatConfig;
+    use cochar_trace::slot::collect_slots;
+
+    fn setup() -> (Arc<Csr>, GraphLayout) {
+        let csr = Arc::new(Csr::rmat(&RmatConfig::skewed(8, 4, 1)));
+        let mut region = Region::new(
+            0,
+            GraphLayout::bytes_needed(csr.vertices(), csr.edges()),
+        );
+        let layout = GraphLayout::new(&mut region, csr.vertices(), csr.edges());
+        (csr, layout)
+    }
+
+    #[test]
+    fn layout_arrays_are_disjoint() {
+        let (_, l) = setup();
+        let ends = [
+            (l.offsets.base(), l.offsets.base() + l.offsets.bytes()),
+            (l.edges.base(), l.edges.base() + l.edges.bytes()),
+            (l.data.base(), l.data.base() + l.data.bytes()),
+            (l.result.base(), l.result.base() + l.result.bytes()),
+            (l.mirrors.base(), l.mirrors.base() + l.mirrors.bytes()),
+        ];
+        for i in 0..ends.len() {
+            for j in i + 1..ends.len() {
+                assert!(ends[i].1 <= ends[j].0 || ends[j].1 <= ends[i].0);
+            }
+        }
+    }
+
+    #[test]
+    fn gemini_shares_cover_all_vertices_disjointly() {
+        let (csr, _) = setup();
+        let threads = 4;
+        let mut seen = vec![false; csr.vertices() as usize];
+        for t in 0..threads {
+            for v in gemini_share(&csr, &ActiveSet::All, t, threads) {
+                assert!(!seen[v as usize], "vertex {v} assigned twice");
+                seen[v as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "all vertices must be covered");
+    }
+
+    #[test]
+    fn gemini_shares_are_degree_balanced() {
+        // Needs a graph large enough that single hub vertices do not
+        // dominate a whole share (shares are contiguous, so a hub is
+        // indivisible).
+        let csr = Arc::new(Csr::rmat(&RmatConfig::skewed(12, 8, 1)));
+        let threads = 4;
+        let sums: Vec<u64> = (0..threads)
+            .map(|t| csr.degree_sum(&gemini_share(&csr, &ActiveSet::All, t, threads)))
+            .collect();
+        let max = *sums.iter().max().unwrap() as f64;
+        let min = *sums.iter().min().unwrap() as f64;
+        assert!(
+            max / min.max(1.0) < 1.6,
+            "degree-balanced shares should be within 60%: {sums:?}"
+        );
+    }
+
+    #[test]
+    fn power_shares_cover_all_vertices_disjointly() {
+        let (csr, _) = setup();
+        let threads = 3;
+        let mut seen = vec![false; csr.vertices() as usize];
+        for t in 0..threads {
+            for v in power_share(&csr, &ActiveSet::All, t, threads) {
+                assert!(!seen[v as usize]);
+                seen[v as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn edge_scan_emits_expected_slot_counts() {
+        let (csr, layout) = setup();
+        let job = GraphJob::new(vec![Phase::dense(1, 1)]);
+        let mut total_edges = 0u64;
+        let mut total_vertices = 0u64;
+        for t in 0..2 {
+            let mut s = build_stream(EngineKind::Gemini, &csr, layout, &job, t, 2);
+            let slots = collect_slots(&mut s, 10_000_000);
+            let gathers = slots
+                .iter()
+                .filter(|s| matches!(s, Slot::Load { pc, .. } if *pc == pc::GATHER))
+                .count() as u64;
+            let stores = slots
+                .iter()
+                .filter(|s| matches!(s, Slot::Store { .. }))
+                .count() as u64;
+            total_edges += gathers;
+            total_vertices += stores;
+        }
+        assert_eq!(total_edges, csr.edges(), "each edge gathered exactly once");
+        assert_eq!(total_vertices, u64::from(csr.vertices()));
+    }
+
+    #[test]
+    fn power_scan_adds_mirror_traffic() {
+        let (csr, layout) = setup();
+        let job = GraphJob::new(vec![Phase::dense(1, 1)]);
+        let count = |kind| {
+            let mut n = 0u64;
+            for t in 0..2 {
+                let mut s = build_stream(kind, &csr, layout, &job, t, 2);
+                while let Some(slot) = s.next_slot() {
+                    if slot.is_memory() {
+                        n += 1;
+                    }
+                }
+            }
+            n
+        };
+        let gemini = count(EngineKind::Gemini);
+        let power = count(EngineKind::Power);
+        assert!(
+            power as f64 > gemini as f64 * 1.3,
+            "PowerGraph GAS must add per-edge traffic: {gemini} vs {power}"
+        );
+    }
+
+    #[test]
+    fn gather_dependence_follows_engine_model() {
+        let (csr, layout) = setup();
+        let job = GraphJob::new(vec![Phase::dense(0, 0)]);
+        for (kind, want_dep) in [(EngineKind::Gemini, false), (EngineKind::Power, true)] {
+            let mut s = build_stream(kind, &csr, layout, &job, 0, 1);
+            let slots = collect_slots(&mut s, 10_000_000);
+            for slot in &slots {
+                if let Slot::Load { addr, pc, dep } = slot {
+                    if *pc == pc::GATHER {
+                        assert_eq!(*dep, want_dep, "{kind:?}");
+                        assert!(
+                            *addr >= layout.data.base()
+                                && *addr < layout.data.base() + layout.data.bytes()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_phase_only_touches_frontier() {
+        let (csr, layout) = setup();
+        let frontier = Arc::new(vec![1u32, 5, 9]);
+        let job = GraphJob::new(vec![Phase::sparse(frontier.clone(), 0, 0)]);
+        let mut s = build_stream(EngineKind::Gemini, &csr, layout, &job, 0, 1);
+        let slots = collect_slots(&mut s, 1_000_000);
+        let stores: Vec<u64> = slots
+            .iter()
+            .filter(|s| matches!(s, Slot::Store { .. }))
+            .map(|s| s.addr().unwrap())
+            .collect();
+        let expect: Vec<u64> =
+            frontier.iter().map(|&v| layout.result.at(u64::from(v))).collect();
+        assert_eq!(stores, expect);
+    }
+}

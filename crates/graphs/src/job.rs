@@ -1,0 +1,113 @@
+//! Graph jobs: the phase structure an algorithm hands to an engine.
+//!
+//! An algorithm's execution is a sequence of *phases*; each phase scans the
+//! edges of an *active vertex set* in parallel. The algorithms in
+//! [`crate::algos`] compute these sets for real (BFS levels, label-changed
+//! sets, …), and the engine models in [`crate::engines`] translate a job
+//! into per-thread slot streams.
+
+use std::sync::Arc;
+
+/// The vertices a phase processes.
+#[derive(Clone, Debug)]
+pub enum ActiveSet {
+    /// Every vertex (dense phases: PageRank iterations, CC's first round).
+    All,
+    /// An explicit frontier (sparse phases: BFS levels, SSSP buckets).
+    List(Arc<Vec<u32>>),
+}
+
+impl ActiveSet {
+    /// Number of active vertices given the graph's vertex count.
+    pub fn len(&self, n: u32) -> u64 {
+        match self {
+            ActiveSet::All => u64::from(n),
+            ActiveSet::List(l) => l.len() as u64,
+        }
+    }
+
+    /// True if no vertex is active.
+    pub fn is_empty(&self, n: u32) -> bool {
+        self.len(n) == 0
+    }
+}
+
+/// One parallel iteration over an active set.
+#[derive(Clone, Debug)]
+pub struct Phase {
+    /// Vertices this phase scans.
+    pub active: ActiveSet,
+    /// ALU work per scanned edge (rank accumulation, relaxation test, …).
+    pub compute_per_edge: u32,
+    /// ALU work per active vertex (apply step).
+    pub compute_per_vertex: u32,
+    /// Whether the phase writes a per-vertex result (most do; BC's forward
+    /// counting does, pure read phases don't).
+    pub store_result: bool,
+}
+
+impl Phase {
+    /// A dense full-graph phase with default costs.
+    pub fn dense(compute_per_edge: u32, compute_per_vertex: u32) -> Self {
+        Phase {
+            active: ActiveSet::All,
+            compute_per_edge,
+            compute_per_vertex,
+            store_result: true,
+        }
+    }
+
+    /// A sparse frontier phase with default costs.
+    pub fn sparse(frontier: Arc<Vec<u32>>, compute_per_edge: u32, compute_per_vertex: u32) -> Self {
+        Phase {
+            active: ActiveSet::List(frontier),
+            compute_per_edge,
+            compute_per_vertex,
+            store_result: true,
+        }
+    }
+}
+
+/// A complete algorithm execution: an ordered list of phases, separated by
+/// implicit global barriers (bulk-synchronous execution, as both Gemini
+/// and PowerGraph use).
+#[derive(Clone, Debug)]
+pub struct GraphJob {
+    /// Phases in execution order.
+    pub phases: Vec<Phase>,
+}
+
+impl GraphJob {
+    /// A job from an ordered phase list.
+    pub fn new(phases: Vec<Phase>) -> Self {
+        GraphJob { phases }
+    }
+
+    /// Total active-vertex count across phases (a work proxy).
+    pub fn total_active(&self, n: u32) -> u64 {
+        self.phases.iter().map(|p| p.active.len(n)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn active_set_len() {
+        assert_eq!(ActiveSet::All.len(10), 10);
+        let l = ActiveSet::List(Arc::new(vec![1, 2, 3]));
+        assert_eq!(l.len(10), 3);
+        assert!(!l.is_empty(10));
+        assert!(ActiveSet::List(Arc::new(vec![])).is_empty(10));
+    }
+
+    #[test]
+    fn job_work_proxy() {
+        let job = GraphJob::new(vec![
+            Phase::dense(1, 1),
+            Phase::sparse(Arc::new(vec![5, 6]), 1, 1),
+        ]);
+        assert_eq!(job.total_active(100), 102);
+    }
+}

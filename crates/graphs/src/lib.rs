@@ -1,0 +1,33 @@
+//! # cochar-graphs
+//!
+//! The graph-processing substrate: synthetic power-law graphs (R-MAT),
+//! CSR storage, the paper's five graph algorithms (PageRank, BFS, SSSP,
+//! Connected Components, Betweenness Centrality), and two *engine models*
+//! that turn an algorithm's real edge traversal into the memory-access
+//! stream of either framework:
+//!
+//! * **Gemini-style** ([`engines::gemini`]): contiguous, degree-balanced
+//!   vertex chunks per thread — good spatial locality on the edge array,
+//!   high effective bandwidth (the paper's Sec. IV-B observation).
+//! * **PowerGraph-style** ([`engines::power`]): interleaved vertex
+//!   assignment with GAS gather/apply mirror traffic — poorer locality,
+//!   extra accesses per edge, lower bandwidth and higher CPI.
+//!
+//! The algorithms run *for real* on the synthetic graph (frontiers,
+//! labels, levels are actually computed); the engine models then replay
+//! the genuine traversal as [`cochar_trace::Slot`]s over a laid-out
+//! address space, so hub-vertex reuse, frontier shapes, and irregularity
+//! all come from the graph structure rather than from tuned constants.
+
+#![warn(missing_docs)]
+
+pub mod algos;
+pub mod csr;
+pub mod engines;
+pub mod job;
+pub mod rmat;
+
+pub use csr::Csr;
+pub use engines::{gemini::GeminiEngine, power::PowerEngine, GraphLayout};
+pub use job::{ActiveSet, GraphJob, Phase};
+pub use rmat::RmatConfig;

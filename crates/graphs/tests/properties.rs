@@ -1,0 +1,133 @@
+//! Property-based tests for the graph substrate: CSR invariants,
+//! algorithm correctness laws, and engine work conservation.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use cochar_graphs::algos;
+use cochar_graphs::engines::{build_stream, pc, EngineKind, GraphLayout};
+use cochar_graphs::{Csr, GraphJob, Phase, RmatConfig};
+use cochar_trace::{Region, Slot, SlotStream};
+
+fn arbitrary_edges(n: u32) -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::vec((0..n, 0..n), 0..200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn csr_preserves_all_edges(edges in arbitrary_edges(64)) {
+        let g = Csr::from_edges(64, &edges);
+        prop_assert_eq!(g.edges(), edges.len() as u64);
+        // Per-source multiset of targets must match.
+        for v in 0..64u32 {
+            let mut expect: Vec<u32> =
+                edges.iter().filter(|(s, _)| *s == v).map(|(_, d)| *d).collect();
+            expect.sort_unstable();
+            let mut got = g.neighbors(v).to_vec();
+            got.sort_unstable();
+            prop_assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn transpose_is_involutive_on_degrees(edges in arbitrary_edges(48)) {
+        let g = Csr::from_edges(48, &edges);
+        let tt = g.transpose().transpose();
+        for v in 0..48u32 {
+            prop_assert_eq!(g.degree(v), tt.degree(v));
+        }
+    }
+
+    #[test]
+    fn bfs_levels_are_consistent(edges in arbitrary_edges(48), root in 0u32..48) {
+        let g = Csr::from_edges(48, &edges);
+        let levels = algos::bfs_levels(&g, root);
+        prop_assert_eq!(levels[root as usize], 0);
+        for v in 0..48u32 {
+            let lv = levels[v as usize];
+            if lv < 0 {
+                continue;
+            }
+            for &t in g.neighbors(v) {
+                let lt = levels[t as usize];
+                // An edge can shorten a level by at most... nothing: BFS
+                // guarantees lt <= lv + 1 and lt >= 0 for reachable t.
+                prop_assert!(lt >= 0, "neighbour of reachable vertex must be reachable");
+                prop_assert!(lt <= lv + 1, "edge ({v},{t}) violates BFS levels");
+            }
+        }
+    }
+
+    #[test]
+    fn sssp_upper_bounded_by_unit_bfs_times_max_weight(
+        edges in arbitrary_edges(32), root in 0u32..32
+    ) {
+        let g = Csr::from_edges(32, &edges);
+        let unit = algos::sssp_distances(&g, root, true);
+        let weighted = algos::sssp_distances(&g, root, false);
+        for v in 0..32usize {
+            prop_assert_eq!(unit[v] == u64::MAX, weighted[v] == u64::MAX);
+            if unit[v] != u64::MAX {
+                // Weights are in 1..=8: weighted dist within [hops, 8*hops].
+                prop_assert!(weighted[v] >= unit[v]);
+                prop_assert!(weighted[v] <= unit[v] * 8);
+            }
+        }
+    }
+
+    #[test]
+    fn cc_labels_are_consistent_across_edges(edges in arbitrary_edges(48)) {
+        let g = Csr::from_edges(48, &edges);
+        let labels = algos::cc_labels(&g);
+        for v in 0..48u32 {
+            for &t in g.neighbors(v) {
+                prop_assert_eq!(
+                    labels[v as usize], labels[t as usize],
+                    "edge endpoints must share a component"
+                );
+            }
+            prop_assert!(labels[v as usize] <= v, "label is the component minimum");
+        }
+    }
+
+    #[test]
+    fn pagerank_mass_is_conserved(scale in 4u32..8, ef in 2u32..6, seed in any::<u64>()) {
+        let g = Csr::rmat(&RmatConfig::skewed(scale, ef, seed));
+        let r = algos::pagerank(&g, 5);
+        let sum: f64 = r.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-6, "rank mass {sum}");
+        prop_assert!(r.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn engines_scan_identical_edge_work(seed in any::<u64>(), threads in 1usize..5) {
+        let csr = Arc::new(Csr::rmat(&RmatConfig::skewed(7, 4, seed)));
+        let mut region =
+            Region::new(0, GraphLayout::bytes_needed(csr.vertices(), csr.edges()));
+        let layout = GraphLayout::new(&mut region, csr.vertices(), csr.edges());
+        let job = GraphJob::new(vec![Phase::dense(1, 1)]);
+        for kind in [EngineKind::Gemini, EngineKind::Power] {
+            let mut gathers = 0u64;
+            for t in 0..threads {
+                let mut s = build_stream(kind, &csr, layout, &job, t, threads);
+                while let Some(slot) = s.next_slot() {
+                    if matches!(slot, Slot::Load { pc: p, .. } if p == pc::GATHER) {
+                        gathers += 1;
+                    }
+                }
+            }
+            prop_assert_eq!(gathers, csr.edges(), "{:?} must gather every edge once", kind);
+        }
+    }
+
+    #[test]
+    fn betweenness_is_nonnegative_and_zero_at_root(seed in any::<u64>()) {
+        let g = Csr::rmat(&RmatConfig::skewed(6, 4, seed));
+        let d = algos::betweenness(&g, 0);
+        prop_assert_eq!(d[0], 0.0);
+        prop_assert!(d.iter().all(|&x| x >= 0.0 && x.is_finite()));
+    }
+}

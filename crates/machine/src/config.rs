@@ -1,0 +1,257 @@
+//! Machine configuration: the simulated platform.
+//!
+//! The default geometry mirrors the paper's Supermicro 8047R-TRF+ node
+//! (8-core Xeon E5-4650, Sandy Bridge): private 32K L1D and 256K L2 per
+//! core, a 20 MB shared L3, and a memory subsystem whose practical peak
+//! bandwidth is ~28 GB/s. A proportionally scaled-down preset keeps every
+//! capacity *ratio* intact while making full 625-pair sweeps affordable.
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry and latency of one cache level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes (must be `ways * sets * 64`).
+    pub bytes: u64,
+    /// Associativity.
+    pub ways: u32,
+    /// Load-to-use latency in cycles for a hit at this level.
+    pub latency: u32,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the geometry.
+    pub fn sets(&self) -> u64 {
+        self.bytes / (u64::from(self.ways) * crate::LINE_BYTES)
+    }
+
+    /// Checks the geometry is internally consistent (line-divisible,
+    /// power-of-two set count).
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.bytes.is_multiple_of(u64::from(self.ways) * crate::LINE_BYTES) {
+            return Err(format!(
+                "cache size {} not divisible by ways {} * line {}",
+                self.bytes,
+                self.ways,
+                crate::LINE_BYTES
+            ));
+        }
+        let sets = self.sets();
+        if !sets.is_power_of_two() {
+            return Err(format!("set count {sets} is not a power of two"));
+        }
+        Ok(())
+    }
+}
+
+/// Full machine configuration.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Number of physical cores. The paper's co-run setup binds two 4-thread
+    /// applications to disjoint halves of 8 cores.
+    pub cores: usize,
+    /// Core clock in GHz — used only to convert cycles to seconds/GB/s.
+    pub freq_ghz: f64,
+    /// Private L1 data cache.
+    pub l1d: CacheConfig,
+    /// Private unified L2.
+    pub l2: CacheConfig,
+    /// Shared last-level cache.
+    pub llc: CacheConfig,
+    /// Whether the LLC is inclusive of the private levels (Sandy Bridge's
+    /// L3 is): an LLC eviction back-invalidates L1/L2 copies, which is how
+    /// a streaming co-runner hurts a cache-resident neighbour.
+    pub llc_inclusive: bool,
+    /// DRAM access latency in cycles (row access + controller overhead),
+    /// excluding queueing delay, which is modelled by the controller.
+    pub dram_latency: u32,
+    /// Memory controller service time per 64-byte line, in *millicycles*,
+    /// aggregated across channels. 6170 mc/line at 2.7 GHz ≈ 28 GB/s peak
+    /// — the paper's measured practical maximum.
+    pub line_service_millicycles: u64,
+    /// Memory channels: lines are address-interleaved across channels,
+    /// each serving one line per `line_service_millicycles * channels`
+    /// (aggregate peak is unchanged; more channels reduce head-of-line
+    /// blocking between independent streams).
+    pub channels: u32,
+    /// Maximum outstanding demand misses per core (MSHR/ROB-window proxy).
+    /// Controls memory-level parallelism: independent-access workloads
+    /// overlap up to this many misses; dependent chains get 1.
+    pub mlp: u32,
+    /// Prefetch is suppressed when the controller queue delay exceeds this
+    /// many cycles (0 disables throttling). See DESIGN.md ablation #3.
+    pub prefetch_throttle_cycles: u64,
+    /// Bandwidth-sampling epoch length in cycles (pcm-memory analogue).
+    pub epoch_cycles: u64,
+    /// Hard cap on simulated time to bound runaway runs.
+    pub max_cycles: u64,
+}
+
+impl MachineConfig {
+    /// The paper's platform, full size.
+    pub fn paper() -> Self {
+        MachineConfig {
+            cores: 8,
+            freq_ghz: 2.7,
+            l1d: CacheConfig { bytes: 32 * 1024, ways: 8, latency: 4 },
+            l2: CacheConfig { bytes: 256 * 1024, ways: 8, latency: 10 },
+            llc: CacheConfig { bytes: 20 * 1024 * 1024, ways: 20, latency: 35 },
+            llc_inclusive: true,
+            dram_latency: 220,
+            line_service_millicycles: 6170,
+            channels: 1,
+            mlp: 5,
+            prefetch_throttle_cycles: 150,
+            epoch_cycles: 2_000_000,
+            max_cycles: 50_000_000_000,
+        }
+    }
+
+    /// Proportionally scaled platform (1/8 capacities) used as the default
+    /// for sweeps: workload footprints in `cochar-workloads` are expressed
+    /// relative to the LLC, so every footprint:capacity ratio — the
+    /// quantity interference depends on — is preserved.
+    pub fn scaled() -> Self {
+        let mut c = Self::paper();
+        c.l1d.bytes = 8 * 1024;
+        c.l2.bytes = 32 * 1024;
+        c.llc = CacheConfig { bytes: 2 * 1024 * 1024 + 512 * 1024, ways: 20, latency: 35 };
+        c.epoch_cycles = 500_000;
+        c.max_cycles = 20_000_000_000;
+        c
+    }
+
+    /// Benchmark-sweep machine: same 8-core topology and bandwidth model
+    /// as `paper()`, with capacities reduced ~20x so the full 625-pair
+    /// heatmap completes in minutes. Workload footprints scale with the
+    /// LLC (see `cochar-workloads`), preserving every ratio that
+    /// interference depends on.
+    pub fn bench() -> Self {
+        let mut c = Self::paper();
+        c.l1d.bytes = 4 * 1024;
+        c.l2.bytes = 16 * 1024;
+        c.llc = CacheConfig { bytes: 1024 * 1024, ways: 16, latency: 35 };
+        c.epoch_cycles = 200_000;
+        c.max_cycles = 4_000_000_000;
+        c
+    }
+
+    /// Tiny machine for unit tests.
+    pub fn tiny() -> Self {
+        let mut c = Self::paper();
+        c.cores = 2;
+        c.l1d = CacheConfig { bytes: 1024, ways: 2, latency: 4 };
+        c.l2 = CacheConfig { bytes: 4096, ways: 4, latency: 10 };
+        c.llc = CacheConfig { bytes: 16 * 1024, ways: 4, latency: 35 };
+        c.epoch_cycles = 10_000;
+        c.max_cycles = 100_000_000;
+        c
+    }
+
+    /// Validates all cache geometries.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.cores == 0 {
+            return Err("need at least one core".into());
+        }
+        if self.mlp == 0 {
+            return Err("mlp must be >= 1".into());
+        }
+        if self.line_service_millicycles == 0 {
+            return Err("line service time must be nonzero".into());
+        }
+        if self.channels == 0 {
+            return Err("need at least one memory channel".into());
+        }
+        self.l1d.validate().map_err(|e| format!("l1d: {e}"))?;
+        self.l2.validate().map_err(|e| format!("l2: {e}"))?;
+        self.llc.validate().map_err(|e| format!("llc: {e}"))?;
+        Ok(())
+    }
+
+    /// Peak memory bandwidth implied by the service interval, in GB/s.
+    pub fn peak_bandwidth_gbs(&self) -> f64 {
+        let lines_per_cycle = 1000.0 / self.line_service_millicycles as f64;
+        lines_per_cycle * crate::LINE_BYTES as f64 * self.freq_ghz
+    }
+
+    /// Converts a cycle count to seconds at the configured clock.
+    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / (self.freq_ghz * 1e9)
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        Self::scaled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        MachineConfig::paper().validate().unwrap();
+        MachineConfig::scaled().validate().unwrap();
+        MachineConfig::bench().validate().unwrap();
+        MachineConfig::tiny().validate().unwrap();
+    }
+
+    #[test]
+    fn bench_preserves_bandwidth_model() {
+        let p = MachineConfig::paper();
+        let b = MachineConfig::bench();
+        assert_eq!(b.cores, p.cores);
+        assert_eq!(b.line_service_millicycles, p.line_service_millicycles);
+        assert_eq!(b.mlp, p.mlp);
+        assert!(b.llc.bytes < p.llc.bytes / 10);
+    }
+
+    #[test]
+    fn paper_geometry_matches_the_platform() {
+        let c = MachineConfig::paper();
+        assert_eq!(c.cores, 8);
+        assert_eq!(c.l1d.bytes, 32 * 1024);
+        assert_eq!(c.l2.bytes, 256 * 1024);
+        assert_eq!(c.llc.bytes, 20 * 1024 * 1024);
+        assert_eq!(c.l1d.sets(), 64);
+        assert!(c.llc_inclusive);
+    }
+
+    #[test]
+    fn peak_bandwidth_is_about_28_gbs() {
+        let c = MachineConfig::paper();
+        let bw = c.peak_bandwidth_gbs();
+        assert!((27.0..29.0).contains(&bw), "peak {bw} GB/s");
+    }
+
+    #[test]
+    fn invalid_geometry_is_rejected() {
+        let mut c = MachineConfig::paper();
+        c.l1d.bytes = 1000; // not line-divisible
+        assert!(c.validate().is_err());
+        let mut c = MachineConfig::paper();
+        c.l2.ways = 3; // 256K / (3*64) is not a power of two
+        assert!(c.validate().is_err());
+        let mut c = MachineConfig::paper();
+        c.mlp = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn cycles_to_seconds_uses_clock() {
+        let c = MachineConfig::paper();
+        let s = c.cycles_to_seconds(2_700_000_000);
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaled_preserves_capacity_ratios() {
+        let p = MachineConfig::paper();
+        let s = MachineConfig::scaled();
+        let paper_ratio = p.llc.bytes as f64 / p.l2.bytes as f64;
+        let scaled_ratio = s.llc.bytes as f64 / s.l2.bytes as f64;
+        assert!((paper_ratio - scaled_ratio).abs() / paper_ratio < 0.3);
+    }
+}

@@ -1,0 +1,57 @@
+//! # cochar-machine
+//!
+//! An event-driven, cycle-approximate multicore simulator reproducing the
+//! shared-resource structure of the paper's platform (8-core Sandy Bridge
+//! Xeon E5-4650): private L1D/L2 per core, one shared inclusive LLC, one
+//! memory controller with a finite line-service rate, and the four Sandy
+//! Bridge hardware prefetchers behind an MSR control word.
+//!
+//! Everything the paper measures comes out of this substrate:
+//!
+//! * **Runtime** — a core's clock when its slot stream ends.
+//! * **Bandwidth** — the controller's per-epoch byte ledger (pcm-memory).
+//! * **CPI / LLC MPKI / L2_PCP / LL** — from [`counters::CoreCounters`]
+//!   (VTune event sampling).
+//! * **Interference** — emerges from LLC capacity sharing (with inclusive
+//!   back-invalidation) and controller queueing; nothing is injected.
+//!
+//! ```
+//! use cochar_machine::{Machine, MachineConfig, AppSpec, Role};
+//! use cochar_trace::{gen::Seq, Region, SlotStream, StreamParams};
+//! use std::sync::Arc;
+//!
+//! let machine = Machine::new(MachineConfig::tiny());
+//! let app = AppSpec {
+//!     name: "sweep".into(),
+//!     factory: Arc::new(|p: &StreamParams| {
+//!         let mut region = Region::new(p.base, 1 << 16);
+//!         let a = region.array(1024, 8);
+//!         Box::new(Seq::full(a, 0, 0, 1)) as Box<dyn SlotStream>
+//!     }),
+//!     threads: 1,
+//!     role: Role::Foreground,
+//!     base: 0,
+//!     seed: 1,
+//! };
+//! let outcome = machine.run(&[app]);
+//! assert!(outcome.apps[0].counters.llc_misses > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod config;
+pub mod counters;
+pub mod engine;
+pub mod memctrl;
+pub mod prefetch;
+
+/// Cache line size in bytes (fixed across the suite).
+pub const LINE_BYTES: u64 = 64;
+
+pub use cache::{Cache, Evicted};
+pub use config::{CacheConfig, MachineConfig};
+pub use counters::CoreCounters;
+pub use engine::{AppResult, AppSpec, Machine, Role, RunOutcome};
+pub use memctrl::{EpochTraffic, MemoryController};
+pub use prefetch::Msr;

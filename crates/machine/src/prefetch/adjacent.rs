@@ -1,0 +1,44 @@
+//! L2 adjacent cache line prefetcher.
+
+use super::{AccessObservation, PrefetchReq};
+
+/// On an L2 miss, fetch the other line of the 128-byte aligned pair.
+///
+/// Sandy Bridge's "spatial" prefetcher completes 128-byte chunks: line
+/// `L` triggers a fetch of its buddy `L ^ 1`.
+#[derive(Default)]
+pub struct AdjacentLine;
+
+impl AdjacentLine {
+    /// Observes one miss and appends its prefetch candidate.
+    pub fn observe(&mut self, obs: &AccessObservation, out: &mut Vec<PrefetchReq>) {
+        debug_assert!(!obs.l2_hit);
+        out.push(PrefetchReq { line: obs.line ^ 1, into_l1: false });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fetches_buddy_line_both_directions() {
+        let mut p = AdjacentLine;
+        let mut out = Vec::new();
+        p.observe(
+            &AccessObservation { pc: 0, line: 10, l1_hit: false, l2_hit: false },
+            &mut out,
+        );
+        p.observe(
+            &AccessObservation { pc: 0, line: 11, l1_hit: false, l2_hit: false },
+            &mut out,
+        );
+        assert_eq!(
+            out,
+            vec![
+                PrefetchReq { line: 11, into_l1: false },
+                PrefetchReq { line: 10, into_l1: false },
+            ]
+        );
+    }
+}

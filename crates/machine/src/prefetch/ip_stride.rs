@@ -1,0 +1,147 @@
+//! L1-D IP (instruction-pointer stride) prefetcher.
+
+use super::{AccessObservation, PrefetchReq};
+
+const TABLE_SIZE: usize = 64;
+/// Strides beyond this many lines are treated as noise.
+const MAX_STRIDE: i64 = 32;
+
+#[derive(Clone, Copy, Default)]
+struct Entry {
+    pc: u32,
+    valid: bool,
+    last_line: u64,
+    stride: i64,
+    confidence: u8,
+}
+
+/// Per-access-site stride detector.
+///
+/// Indexed by the low bits of the access's synthetic `pc`, each entry
+/// tracks the last line and the last observed stride for that site. Two
+/// consecutive identical non-zero strides train the entry; from then on
+/// every access prefetches `line + stride` (and `line + 2*stride` once
+/// fully confident). This is the prefetcher that serves *strided* loops
+/// that the next-line and stream prefetchers miss.
+pub struct IpStride {
+    table: [Entry; TABLE_SIZE],
+}
+
+impl Default for IpStride {
+    fn default() -> Self {
+        IpStride { table: [Entry::default(); TABLE_SIZE] }
+    }
+}
+
+impl IpStride {
+    /// Observes one access, training the site entry and emitting prefetches.
+    pub fn observe(&mut self, obs: &AccessObservation, out: &mut Vec<PrefetchReq>) {
+        let e = &mut self.table[obs.pc as usize % TABLE_SIZE];
+        if !e.valid || e.pc != obs.pc {
+            *e = Entry { pc: obs.pc, valid: true, last_line: obs.line, stride: 0, confidence: 0 };
+            return;
+        }
+        let stride = obs.line as i64 - e.last_line as i64;
+        e.last_line = obs.line;
+        if stride == 0 {
+            return; // same line; nothing to learn
+        }
+        if stride == e.stride && stride.abs() <= MAX_STRIDE {
+            e.confidence = e.confidence.saturating_add(1);
+        } else {
+            e.stride = stride;
+            e.confidence = 0;
+            return;
+        }
+        if e.confidence >= 1 {
+            if let Some(line) = obs.line.checked_add_signed(e.stride) {
+                out.push(PrefetchReq { line, into_l1: true });
+            }
+        }
+        if e.confidence >= 3 {
+            if let Some(line) = obs.line.checked_add_signed(2 * e.stride) {
+                out.push(PrefetchReq { line, into_l1: true });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(pc: u32, line: u64) -> AccessObservation {
+        AccessObservation { pc, line, l1_hit: false, l2_hit: false }
+    }
+
+    #[test]
+    fn trains_on_constant_stride() {
+        let mut p = IpStride::default();
+        let mut out = Vec::new();
+        // Stride of 4 lines at pc 7: 0, 4, 8, 12.
+        p.observe(&obs(7, 0), &mut out); // allocate
+        p.observe(&obs(7, 4), &mut out); // learn stride
+        assert!(out.is_empty());
+        p.observe(&obs(7, 8), &mut out); // confirm -> prefetch 12
+        assert_eq!(out, vec![PrefetchReq { line: 12, into_l1: true }]);
+    }
+
+    #[test]
+    fn high_confidence_fetches_two_ahead() {
+        let mut p = IpStride::default();
+        let mut out = Vec::new();
+        for i in 0..6u64 {
+            p.observe(&obs(3, i * 2), &mut out);
+        }
+        // Last observation at line 10 with stride 2, confidence >= 3:
+        // prefetch 12 and 14.
+        assert!(out.contains(&PrefetchReq { line: 12, into_l1: true }));
+        assert!(out.contains(&PrefetchReq { line: 14, into_l1: true }));
+    }
+
+    #[test]
+    fn random_pattern_never_trains() {
+        let mut p = IpStride::default();
+        let mut out = Vec::new();
+        for line in [100u64, 3, 77, 2048, 5, 900, 41, 7777] {
+            p.observe(&obs(1, line), &mut out);
+        }
+        assert!(out.is_empty(), "random strides must not trigger prefetches: {out:?}");
+    }
+
+    #[test]
+    fn pc_collision_reallocates() {
+        let mut p = IpStride::default();
+        let mut out = Vec::new();
+        // pc 5 trains...
+        for i in 0..4u64 {
+            p.observe(&obs(5, i), &mut out);
+        }
+        assert!(!out.is_empty());
+        out.clear();
+        // ...then pc 69 (5 + 64) steals the entry; no stale prefetches.
+        p.observe(&obs(69, 1000), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn huge_strides_are_ignored() {
+        let mut p = IpStride::default();
+        let mut out = Vec::new();
+        p.observe(&obs(2, 0), &mut out);
+        p.observe(&obs(2, 1000), &mut out);
+        p.observe(&obs(2, 2000), &mut out);
+        p.observe(&obs(2, 3000), &mut out);
+        assert!(out.is_empty(), "strides beyond MAX_STRIDE lines must not prefetch");
+    }
+
+    #[test]
+    fn backward_stride_trains_too() {
+        let mut p = IpStride::default();
+        let mut out = Vec::new();
+        p.observe(&obs(9, 100), &mut out);
+        p.observe(&obs(9, 99), &mut out);
+        p.observe(&obs(9, 98), &mut out);
+        assert_eq!(out, vec![PrefetchReq { line: 97, into_l1: true }]);
+    }
+}

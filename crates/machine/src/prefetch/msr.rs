@@ -1,0 +1,151 @@
+//! The prefetcher-control model-specific register.
+//!
+//! Mirrors Intel MSR 0x1A4 (`MISC_FEATURE_CONTROL`): each bit *disables*
+//! one prefetcher when set, so a raw value of 0 means "all prefetchers
+//! on" and 0xF means "all off" — the two endpoints the paper's Fig. 4
+//! sensitivity study toggles between.
+
+use serde::{Deserialize, Serialize};
+
+/// Prefetcher-disable MSR (bit semantics identical to MSR 0x1A4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Msr(u64);
+
+/// Bit 0: disables the L2 hardware (stream) prefetcher.
+pub const L2_STREAM_DISABLE: u64 = 1 << 0;
+/// Bit 1: disables the L2 adjacent cache line prefetcher.
+pub const L2_ADJACENT_DISABLE: u64 = 1 << 1;
+/// Bit 2: disables the L1 data cache (DCU next-line) prefetcher.
+pub const L1_NEXT_LINE_DISABLE: u64 = 1 << 2;
+/// Bit 3: disables the L1 data cache IP prefetcher.
+pub const L1_IP_DISABLE: u64 = 1 << 3;
+
+const ALL: u64 =
+    L2_STREAM_DISABLE | L2_ADJACENT_DISABLE | L1_NEXT_LINE_DISABLE | L1_IP_DISABLE;
+
+impl Msr {
+    /// All four prefetchers active (raw value 0) — the machine default.
+    pub fn all_on() -> Self {
+        Msr(0)
+    }
+
+    /// All four prefetchers disabled (raw value 0xF).
+    pub fn all_off() -> Self {
+        Msr(ALL)
+    }
+
+    /// Constructs from a raw register value (only the low 4 bits matter).
+    pub fn from_raw(raw: u64) -> Self {
+        Msr(raw & ALL)
+    }
+
+    /// Raw register value.
+    pub fn raw(&self) -> u64 {
+        self.0
+    }
+
+    /// Whether the L2 stream prefetcher is active.
+    pub fn l2_stream_enabled(&self) -> bool {
+        self.0 & L2_STREAM_DISABLE == 0
+    }
+
+    /// Whether the L2 adjacent-line prefetcher is active.
+    pub fn l2_adjacent_enabled(&self) -> bool {
+        self.0 & L2_ADJACENT_DISABLE == 0
+    }
+
+    /// Whether the L1 next-line (DCU) prefetcher is active.
+    pub fn l1_next_line_enabled(&self) -> bool {
+        self.0 & L1_NEXT_LINE_DISABLE == 0
+    }
+
+    /// Whether the L1 IP-stride prefetcher is active.
+    pub fn l1_ip_enabled(&self) -> bool {
+        self.0 & L1_IP_DISABLE == 0
+    }
+
+    /// Returns a copy with the L2 stream prefetcher set on/off.
+    pub fn with_l2_stream(self, on: bool) -> Self {
+        self.with_bit(L2_STREAM_DISABLE, on)
+    }
+
+    /// Returns a copy with the L2 adjacent-line prefetcher set on/off.
+    pub fn with_l2_adjacent(self, on: bool) -> Self {
+        self.with_bit(L2_ADJACENT_DISABLE, on)
+    }
+
+    /// Returns a copy with the L1 next-line prefetcher set on/off.
+    pub fn with_l1_next_line(self, on: bool) -> Self {
+        self.with_bit(L1_NEXT_LINE_DISABLE, on)
+    }
+
+    /// Returns a copy with the L1 IP prefetcher set on/off.
+    pub fn with_l1_ip(self, on: bool) -> Self {
+        self.with_bit(L1_IP_DISABLE, on)
+    }
+
+    fn with_bit(self, bit: u64, on: bool) -> Self {
+        if on {
+            Msr(self.0 & !bit)
+        } else {
+            Msr(self.0 | bit)
+        }
+    }
+
+    /// True if no prefetcher is active.
+    pub fn all_disabled(&self) -> bool {
+        self.0 == ALL
+    }
+}
+
+impl Default for Msr {
+    fn default() -> Self {
+        Msr::all_on()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints() {
+        let on = Msr::all_on();
+        assert!(on.l2_stream_enabled());
+        assert!(on.l2_adjacent_enabled());
+        assert!(on.l1_next_line_enabled());
+        assert!(on.l1_ip_enabled());
+        assert_eq!(on.raw(), 0);
+
+        let off = Msr::all_off();
+        assert!(!off.l2_stream_enabled());
+        assert!(!off.l2_adjacent_enabled());
+        assert!(!off.l1_next_line_enabled());
+        assert!(!off.l1_ip_enabled());
+        assert_eq!(off.raw(), 0xF);
+        assert!(off.all_disabled());
+    }
+
+    #[test]
+    fn individual_bits_are_independent() {
+        let m = Msr::all_on().with_l2_stream(false);
+        assert!(!m.l2_stream_enabled());
+        assert!(m.l2_adjacent_enabled());
+        assert!(m.l1_next_line_enabled());
+        assert!(m.l1_ip_enabled());
+
+        let m = m.with_l2_stream(true).with_l1_ip(false);
+        assert!(m.l2_stream_enabled());
+        assert!(!m.l1_ip_enabled());
+    }
+
+    #[test]
+    fn raw_roundtrip_masks_high_bits() {
+        let m = Msr::from_raw(0xFFFF_FFF5);
+        assert_eq!(m.raw(), 0x5);
+        assert!(!m.l2_stream_enabled()); // bit 0 set = disabled
+        assert!(m.l2_adjacent_enabled());
+        assert!(!m.l1_next_line_enabled());
+        assert!(m.l1_ip_enabled());
+    }
+}

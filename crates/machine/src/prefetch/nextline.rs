@@ -1,0 +1,35 @@
+//! L1-D next-line (DCU) prefetcher.
+
+use super::{AccessObservation, PrefetchReq};
+
+/// On every L1 miss to line `L`, fetch `L + 1` into L1.
+///
+/// The simplest of the four prefetchers: a pure spatial-locality bet that
+/// pays off for any forward sweep and wastes a line of bandwidth for
+/// everything else.
+#[derive(Default)]
+pub struct NextLine;
+
+impl NextLine {
+    /// Observes one miss and appends its prefetch candidate.
+    pub fn observe(&mut self, obs: &AccessObservation, out: &mut Vec<PrefetchReq>) {
+        debug_assert!(!obs.l1_hit);
+        out.push(PrefetchReq { line: obs.line + 1, into_l1: true });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fetches_successor_into_l1() {
+        let mut p = NextLine;
+        let mut out = Vec::new();
+        p.observe(
+            &AccessObservation { pc: 0, line: 41, l1_hit: false, l2_hit: true },
+            &mut out,
+        );
+        assert_eq!(out, vec![PrefetchReq { line: 42, into_l1: true }]);
+    }
+}

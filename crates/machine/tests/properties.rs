@@ -1,0 +1,191 @@
+//! Property-based tests for the machine substrate: cache invariants,
+//! controller conservation, and engine-level conservation laws.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use cochar_machine::cache::Cache;
+use cochar_machine::memctrl::MemoryController;
+use cochar_machine::{
+    AppSpec, CacheConfig, Machine, MachineConfig, Msr, Role, LINE_BYTES,
+};
+use cochar_trace::gen::{RandomAccess, Seq};
+use cochar_trace::{Region, SlotStream, StreamFactory, StreamParams};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cache_occupancy_never_exceeds_capacity(lines in prop::collection::vec(0u64..4096, 1..300)) {
+        let mut c = Cache::new(&CacheConfig { bytes: 8 * 4 * 64, ways: 4, latency: 1 });
+        for l in lines {
+            c.insert(l, l % 3 == 0, false);
+            prop_assert!(c.occupancy() <= c.capacity());
+        }
+    }
+
+    #[test]
+    fn cache_insert_then_access_hits(lines in prop::collection::vec(0u64..1 << 20, 1..100)) {
+        // Immediately after inserting a line, it must be present (MRU).
+        let mut c = Cache::new(&CacheConfig { bytes: 64 * 8 * 64, ways: 8, latency: 1 });
+        for l in lines {
+            c.insert(l, false, false);
+            prop_assert!(c.access(l).is_some(), "line {l} must hit right after insert");
+        }
+    }
+
+    #[test]
+    fn cache_invalidate_removes(lines in prop::collection::vec(0u64..512, 1..100)) {
+        let mut c = Cache::new(&CacheConfig { bytes: 16 * 4 * 64, ways: 4, latency: 1 });
+        for l in &lines {
+            c.insert(*l, true, false);
+        }
+        for l in &lines {
+            c.invalidate(*l);
+            prop_assert!(!c.contains(*l));
+        }
+        prop_assert_eq!(c.occupancy(), 0);
+    }
+
+    #[test]
+    fn controller_starts_are_monotone_and_spaced(
+        arrivals in prop::collection::vec(0u64..10_000, 2..100),
+        service in 1000u64..20_000,
+    ) {
+        let mut sorted = arrivals.clone();
+        sorted.sort_unstable();
+        let mut ctrl = MemoryController::new(service, 200, 100_000, 1);
+        let mut prev_start_mc = None;
+        for t in sorted {
+            let g = ctrl.request_read(t, 0);
+            prop_assert!(g.start >= t, "service cannot start before arrival");
+            prop_assert_eq!(g.completion, g.start + 200);
+            if let Some(p) = prev_start_mc {
+                // Starts spaced by at least the service interval (in whole
+                // cycles, allowing the millicycle rounding).
+                prop_assert!(g.start * 1000 + 999 >= p + service);
+            }
+            prev_start_mc = Some(g.start * 1000);
+        }
+    }
+
+    #[test]
+    fn controller_epoch_ledger_conserves_lines(
+        reqs in prop::collection::vec((0u64..50_000, 0usize..2, any::<bool>()), 1..200)
+    ) {
+        let mut sorted = reqs.clone();
+        sorted.sort_by_key(|r| r.0);
+        let mut ctrl = MemoryController::new(6170, 220, 1000, 2);
+        let (mut reads, mut writes) = (0u64, 0u64);
+        for (t, app, is_write) in sorted {
+            if is_write {
+                ctrl.request_write(t, app);
+                writes += 1;
+            } else {
+                ctrl.request_read(t, app);
+                reads += 1;
+            }
+        }
+        prop_assert_eq!(ctrl.read_lines(), reads);
+        prop_assert_eq!(ctrl.write_lines(), writes);
+        let ledger: u64 = ctrl.epochs().iter().map(|e| e.total_bytes()).sum();
+        prop_assert_eq!(ledger, (reads + writes) * LINE_BYTES);
+    }
+
+    #[test]
+    fn engine_conserves_instructions_and_accesses(
+        bytes_pow in 10u32..14, compute in 0u32..4, seed in any::<u64>()
+    ) {
+        // The engine must retire exactly the slots the stream produces.
+        let bytes = 1u64 << bytes_pow;
+        let count = bytes / 8;
+        let factory: Arc<dyn StreamFactory> = Arc::new(move |p: &StreamParams| {
+            let mut r = Region::new(p.base, bytes + 256);
+            let a = r.array(count, 8);
+            Box::new(Seq::full(a, compute, 3, 1)) as Box<dyn SlotStream>
+        });
+        let machine = Machine::new(MachineConfig::tiny());
+        let out = machine.run(&[AppSpec {
+            name: "x".into(),
+            factory,
+            threads: 1,
+            role: Role::Foreground,
+            base: seed % 1024 * 4096, // arbitrary aligned-ish base
+            seed,
+        }]);
+        let c = &out.apps[0].counters;
+        prop_assert_eq!(c.accesses(), count);
+        let expect_instr = count + u64::from(compute) * (count - 1);
+        prop_assert_eq!(c.instructions, expect_instr);
+        // Hierarchy conservation.
+        prop_assert_eq!(c.l1_misses(), c.l2_hits + c.l2_misses);
+        prop_assert_eq!(c.l2_misses, c.llc_hits + c.llc_misses + c.inflight_merges);
+    }
+
+    #[test]
+    fn engine_time_is_monotone_in_work(scale in 1u64..6) {
+        let mk = |n: u64| -> Arc<dyn StreamFactory> {
+            Arc::new(move |p: &StreamParams| {
+                let mut r = Region::new(p.base, 1 << 16);
+                let a = r.array(1024, 8);
+                Box::new(RandomAccess::new(a, n, 1, 10, false, p.seed, 0))
+                    as Box<dyn SlotStream>
+            })
+        };
+        let machine = Machine::new(MachineConfig::tiny());
+        let run = |n: u64| {
+            machine
+                .run(&[AppSpec {
+                    name: "x".into(),
+                    factory: mk(n),
+                    threads: 1,
+                    role: Role::Foreground,
+                    base: 0,
+                    seed: 7,
+                }])
+                .apps[0]
+                .elapsed_cycles
+        };
+        let small = run(500 * scale);
+        let large = run(1000 * scale);
+        prop_assert!(large > small);
+    }
+
+    #[test]
+    fn bandwidth_never_exceeds_peak(threads in 1usize..3, seed in any::<u64>()) {
+        let factory: Arc<dyn StreamFactory> = Arc::new(|p: &StreamParams| {
+            let mut r = Region::new(p.base + (p.thread as u64) * (1 << 24), 1 << 20);
+            let a = r.array(64 * 1024, 8);
+            Box::new(Seq::full(a, 0, 2, 1)) as Box<dyn SlotStream>
+        });
+        let cfg = MachineConfig::tiny();
+        let peak = cfg.peak_bandwidth_gbs();
+        let machine = Machine::new(cfg);
+        let out = machine.run(&[AppSpec {
+            name: "x".into(),
+            factory,
+            threads,
+            role: Role::Foreground,
+            base: 0,
+            seed,
+        }]);
+        prop_assert!(out.total_bandwidth_gbs() <= peak * 1.02);
+        // Per-epoch bandwidth respects the peak as well.
+        let secs_per_epoch = out.epoch_cycles as f64 / (out.freq_ghz * 1e9);
+        for e in &out.epochs {
+            let gbs = e.total_bytes() as f64 / 1e9 / secs_per_epoch;
+            prop_assert!(gbs <= peak * 1.05, "epoch bw {gbs} vs peak {peak}");
+        }
+    }
+
+    #[test]
+    fn msr_roundtrip(raw in 0u64..16) {
+        let m = Msr::from_raw(raw);
+        prop_assert_eq!(m.raw(), raw);
+        prop_assert_eq!(m.l2_stream_enabled(), raw & 1 == 0);
+        prop_assert_eq!(m.l2_adjacent_enabled(), raw & 2 == 0);
+        prop_assert_eq!(m.l1_next_line_enabled(), raw & 4 == 0);
+        prop_assert_eq!(m.l1_ip_enabled(), raw & 8 == 0);
+    }
+}

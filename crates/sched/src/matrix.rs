@@ -1,0 +1,110 @@
+//! Pairwise cost matrices: what a scheduler knows.
+
+use cochar_colocation::{Heatmap, Study};
+use serde::{Deserialize, Serialize};
+
+/// Directed pairwise slowdowns plus the derived symmetric cost.
+///
+/// `slow[i][j]` is job `i`'s normalized runtime with `j` in the
+/// background; `cost(i, j)` is the worse of the two directions — the
+/// number a bundle is judged by.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CostMatrix {
+    /// Job/application names (matrix order).
+    pub names: Vec<String>,
+    /// Directed slowdowns: `slow[i][j]` = i's slowdown under j.
+    pub slow: Vec<Vec<f64>>,
+}
+
+impl CostMatrix {
+    /// From a measured heatmap.
+    pub fn from_heatmap(heat: &Heatmap) -> Self {
+        CostMatrix { names: heat.names.clone(), slow: heat.norm.clone() }
+    }
+
+    /// Measures the matrix for the given jobs (runs the pair sweep).
+    pub fn measure(study: &Study, jobs: &[&str]) -> Self {
+        Self::from_heatmap(&Heatmap::compute(study, jobs))
+    }
+
+    /// Predicts the matrix from Bubble-Up sensitivity curves: each job's
+    /// curve is evaluated at every other job's solo bandwidth. Linear
+    /// (O(n) measurements) instead of quadratic.
+    pub fn predict_from_bubbles(study: &Study, jobs: &[&str]) -> Self {
+        let curves: Vec<_> = jobs
+            .iter()
+            .map(|j| cochar_colocation::bubble::BubbleCurve::measure(study, j))
+            .collect();
+        let pressures: Vec<f64> =
+            jobs.iter().map(|j| study.solo(j).profile.bandwidth_gbs).collect();
+        let n = jobs.len();
+        let mut slow = vec![vec![1.0; n]; n];
+        for i in 0..n {
+            for j in 0..n {
+                slow[i][j] = curves[i].predict(pressures[j]);
+            }
+        }
+        CostMatrix { names: jobs.iter().map(|s| s.to_string()).collect(), slow }
+    }
+
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if there are no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// The worse direction of co-locating `a` and `b`.
+    pub fn cost(&self, a: usize, b: usize) -> f64 {
+        self.slow[a][b].max(self.slow[b][a])
+    }
+
+    /// Job `a`'s own slowdown when bundled with `b`.
+    pub fn directed(&self, a: usize, b: usize) -> f64 {
+        self.slow[a][b]
+    }
+
+    /// Worst slowdown `a` suffers under any partner (victim exposure).
+    pub fn vulnerability(&self, a: usize) -> f64 {
+        (0..self.len())
+            .filter(|&b| b != a)
+            .map(|b| self.slow[a][b])
+            .fold(1.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sample() -> CostMatrix {
+        // 4 jobs: 0 and 1 interfere badly; 2 and 3 are harmless.
+        CostMatrix {
+            names: vec!["a".into(), "b".into(), "c".into(), "d".into()],
+            slow: vec![
+                vec![1.0, 1.9, 1.1, 1.0],
+                vec![1.7, 1.0, 1.2, 1.1],
+                vec![1.0, 1.0, 1.0, 1.0],
+                vec![1.0, 1.1, 1.0, 1.0],
+            ],
+        }
+    }
+
+    #[test]
+    fn cost_is_symmetric_max() {
+        let m = sample();
+        assert!((m.cost(0, 1) - 1.9).abs() < 1e-12);
+        assert!((m.cost(1, 0) - 1.9).abs() < 1e-12);
+        assert!((m.directed(1, 0) - 1.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vulnerability_is_row_max_excluding_self() {
+        let m = sample();
+        assert!((m.vulnerability(0) - 1.9).abs() < 1e-12);
+        assert!((m.vulnerability(2) - 1.0).abs() < 1e-12);
+    }
+}

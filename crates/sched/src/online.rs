@@ -1,0 +1,417 @@
+//! Online consolidation simulation: jobs arrive over time, a policy
+//! places each on a cluster of two-slot nodes, and job progress rates
+//! depend on who shares the node — the operating regime the paper's
+//! schedulers (Bubble-flux, preemptive containers, CC) live in.
+//!
+//! The simulation is event-driven and exact: between events every job
+//! progresses at `1 / slowdown(partner)`; arrivals and completions
+//! re-evaluate rates.
+
+use serde::{Deserialize, Serialize};
+
+use crate::matrix::CostMatrix;
+
+/// A job to run: `work` is its solo runtime in abstract time units.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Job {
+    /// Index into the cost matrix (the job's application type).
+    pub app: usize,
+    /// Arrival time.
+    pub arrival: f64,
+    /// Solo runtime.
+    pub work: f64,
+}
+
+/// Where to put an arriving job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Decision {
+    /// Start on an empty node.
+    EmptyNode,
+    /// Co-locate with the job currently running alone on the node.
+    CoLocate {
+        /// Target node index.
+        node: usize,
+    },
+    /// Wait in the queue until something frees up.
+    Queue,
+}
+
+/// The cluster state a policy sees when deciding.
+pub struct View<'a> {
+    /// Pairwise interference knowledge.
+    pub matrix: &'a CostMatrix,
+    /// For each node: the apps of the jobs currently on it (0, 1, or 2).
+    pub nodes: &'a [Vec<usize>],
+    /// The arriving job's app.
+    pub app: usize,
+}
+
+/// An online placement policy.
+pub trait OnlinePolicy {
+    /// Policy name for reports.
+    fn name(&self) -> &'static str;
+    /// Decides where the arriving job goes.
+    fn place(&self, view: &View<'_>) -> Decision;
+}
+
+/// First-fit: take any empty node, else share with anyone, else queue.
+pub struct FirstFit;
+
+impl OnlinePolicy for FirstFit {
+    fn name(&self) -> &'static str {
+        "first-fit"
+    }
+
+    fn place(&self, view: &View<'_>) -> Decision {
+        if view.nodes.iter().any(|n| n.is_empty()) {
+            return Decision::EmptyNode;
+        }
+        match view.nodes.iter().position(|n| n.len() == 1) {
+            Some(node) => Decision::CoLocate { node },
+            None => Decision::Queue,
+        }
+    }
+}
+
+/// Interference-aware: prefer the half-full node with the lowest bundle
+/// cost if it stays under the QoS cap; otherwise an empty node; only
+/// share above the cap when nothing else is available and `strict` is
+/// off.
+pub struct InterferenceAware {
+    /// Co-locations at or above this cost are avoided.
+    pub qos_cap: f64,
+    /// If set, queue rather than ever breach the cap.
+    pub strict: bool,
+}
+
+impl InterferenceAware {
+    /// A non-strict policy with the given QoS cap.
+    pub fn new(qos_cap: f64) -> Self {
+        InterferenceAware { qos_cap, strict: false }
+    }
+}
+
+impl OnlinePolicy for InterferenceAware {
+    fn name(&self) -> &'static str {
+        "interference-aware"
+    }
+
+    fn place(&self, view: &View<'_>) -> Decision {
+        let best = view
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.len() == 1)
+            .map(|(i, n)| (i, view.matrix.cost(view.app, n[0])))
+            .min_by(|a, b| a.1.total_cmp(&b.1));
+        if let Some((node, cost)) = best {
+            if cost < self.qos_cap {
+                return Decision::CoLocate { node };
+            }
+        }
+        if view.nodes.iter().any(|n| n.is_empty()) {
+            return Decision::EmptyNode;
+        }
+        match (best, self.strict) {
+            (Some((node, _)), false) => Decision::CoLocate { node },
+            _ => Decision::Queue,
+        }
+    }
+}
+
+/// Aggregate results of an online run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct OnlineOutcome {
+    /// Completion time of the last job.
+    pub makespan: f64,
+    /// Per-job (finish - arrival) / solo work: 1.0 is perfect.
+    pub mean_stretch: f64,
+    /// Time-integrated count of co-located pairs above the QoS cap.
+    pub qos_violation_time: f64,
+    /// Node-busy time (energy proxy: node-seconds with >= 1 job).
+    pub node_seconds: f64,
+}
+
+/// Runs jobs through a policy on `nodes` two-slot nodes.
+///
+/// # Panics
+/// Panics if a job references an app outside the matrix or if `nodes`
+/// is zero.
+pub fn simulate(
+    matrix: &CostMatrix,
+    policy: &dyn OnlinePolicy,
+    jobs: &[Job],
+    nodes: usize,
+    qos_cap: f64,
+) -> OnlineOutcome {
+    assert!(nodes > 0);
+    for j in jobs {
+        assert!(j.app < matrix.len(), "job app {} outside matrix", j.app);
+        assert!(j.work > 0.0 && j.arrival >= 0.0);
+    }
+    let mut order: Vec<usize> = (0..jobs.len()).collect();
+    order.sort_by(|&a, &b| jobs[a].arrival.total_cmp(&jobs[b].arrival));
+
+    #[derive(Clone)]
+    struct Running {
+        job: usize,
+        remaining: f64,
+        node: usize,
+    }
+    let mut node_jobs: Vec<Vec<usize>> = vec![Vec::new(); nodes]; // app ids
+    let mut node_members: Vec<Vec<usize>> = vec![Vec::new(); nodes]; // running idx
+    let mut running: Vec<Running> = Vec::new();
+    let mut queue: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+    let mut finish = vec![0.0f64; jobs.len()];
+    let mut now = 0.0f64;
+    let mut next_arrival = 0usize;
+    let mut makespan: f64 = 0.0;
+    let mut qos_violation_time = 0.0;
+    let mut node_seconds = 0.0;
+
+    // Progress rate of a job of app `me` given its node's occupants: solo
+    // runs at 1.0; shared nodes run at 1/slowdown (a same-app partner uses
+    // the matrix diagonal, i.e. the self-co-run slowdown).
+    let rate = |matrix: &CostMatrix, me: usize, node: &[usize]| -> f64 {
+        if node.len() < 2 {
+            return 1.0;
+        }
+        let other = node.iter().copied().find(|&a| a != me).unwrap_or(me);
+        1.0 / matrix.directed(me, other).max(1.0)
+    };
+
+    loop {
+        // Next event: arrival or earliest completion.
+        let t_arr = if next_arrival < order.len() { jobs[order[next_arrival]].arrival } else { f64::INFINITY };
+        let t_done = running
+            .iter()
+            .map(|r| {
+                let rr = rate(matrix, jobs[r.job].app, &node_jobs[r.node]);
+                now + r.remaining / rr
+            })
+            .fold(f64::INFINITY, f64::min);
+        let t_next = t_arr.min(t_done);
+        if t_next.is_infinite() {
+            assert!(
+                queue.is_empty(),
+                "policy {} left {} job(s) queued with the cluster idle",
+                policy.name(),
+                queue.len()
+            );
+            break;
+        }
+        let dt = t_next - now;
+        // Advance everyone and accrue metrics.
+        for r in running.iter_mut() {
+            let rr = rate(matrix, jobs[r.job].app, &node_jobs[r.node]);
+            r.remaining -= dt * rr;
+        }
+        for n in &node_jobs {
+            if !n.is_empty() {
+                node_seconds += dt;
+            }
+            if n.len() == 2 && matrix.cost(n[0], n[1]) >= qos_cap {
+                qos_violation_time += dt;
+            }
+        }
+        now = t_next;
+
+        // Completions first (frees capacity for simultaneous arrivals).
+        let mut i = 0;
+        while i < running.len() {
+            if running[i].remaining <= 1e-9 {
+                let r = running.swap_remove(i);
+                finish[r.job] = now;
+                makespan = makespan.max(now);
+                let pos = node_members[r.node]
+                    .iter()
+                    .position(|&m| m == r.job)
+                    .expect("member bookkeeping");
+                node_members[r.node].remove(pos);
+                let app = jobs[r.job].app;
+                let pos = node_jobs[r.node].iter().position(|&a| a == app).unwrap();
+                node_jobs[r.node].remove(pos);
+            } else {
+                i += 1;
+            }
+        }
+        // Drain the queue into freed capacity (first-come order).
+        while let Some(&qjob) = queue.front() {
+            let view = View { matrix, nodes: &node_jobs, app: jobs[qjob].app };
+            match policy.place(&view) {
+                Decision::Queue => break,
+                d => {
+                    queue.pop_front();
+                    start(d, qjob, jobs, &mut node_jobs, &mut node_members, &mut running);
+                }
+            }
+        }
+        // Arrivals at this instant.
+        while next_arrival < order.len() && jobs[order[next_arrival]].arrival <= now + 1e-12 {
+            let j = order[next_arrival];
+            next_arrival += 1;
+            let view = View { matrix, nodes: &node_jobs, app: jobs[j].app };
+            match policy.place(&view) {
+                Decision::Queue => queue.push_back(j),
+                d => start(d, j, jobs, &mut node_jobs, &mut node_members, &mut running),
+            }
+        }
+    }
+
+    let mean_stretch = if jobs.is_empty() {
+        1.0
+    } else {
+        jobs.iter()
+            .enumerate()
+            .map(|(i, j)| (finish[i] - j.arrival) / j.work)
+            .sum::<f64>()
+            / jobs.len() as f64
+    };
+    return OnlineOutcome { makespan, mean_stretch, qos_violation_time, node_seconds };
+
+    fn start(
+        d: Decision,
+        job: usize,
+        jobs: &[Job],
+        node_jobs: &mut [Vec<usize>],
+        node_members: &mut [Vec<usize>],
+        running: &mut Vec<Running>,
+    ) {
+        let node = match d {
+            Decision::EmptyNode => node_jobs
+                .iter()
+                .position(|n| n.is_empty())
+                .expect("policy chose EmptyNode without one"),
+            Decision::CoLocate { node } => {
+                assert!(node_jobs[node].len() == 1, "policy co-located onto a full node");
+                node
+            }
+            Decision::Queue => unreachable!(),
+        };
+        node_jobs[node].push(jobs[job].app);
+        node_members[node].push(job);
+        running.push(Running { job, remaining: jobs[job].work, node });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two app types: 0 and 1 destroy each other (2x both ways); same-type
+    /// pairs are harmless.
+    fn matrix() -> CostMatrix {
+        CostMatrix {
+            names: vec!["quiet".into(), "loud".into()],
+            slow: vec![vec![1.05, 2.0], vec![2.0, 1.05]],
+        }
+    }
+
+    fn burst(apps: &[usize]) -> Vec<Job> {
+        apps.iter().map(|&app| Job { app, arrival: 0.0, work: 10.0 }).collect()
+    }
+
+    #[test]
+    fn single_job_runs_at_solo_speed() {
+        let m = matrix();
+        let out = simulate(&m, &FirstFit, &burst(&[0]), 2, 1.5);
+        assert!((out.makespan - 10.0).abs() < 1e-6);
+        assert!((out.mean_stretch - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn interference_aware_avoids_the_toxic_pairing() {
+        let m = matrix();
+        // Four jobs, two of each type, two nodes: the aware policy pairs
+        // like with like; first-fit (filling node 0 first) pairs across
+        // types.
+        let jobs = burst(&[0, 1, 1, 0]);
+        let ff = simulate(&m, &FirstFit, &jobs, 2, 1.5);
+        let ia = simulate(&m, &InterferenceAware::new(1.5), &jobs, 2, 1.5);
+        assert!(
+            ia.makespan < ff.makespan - 1.0,
+            "aware {:.1} should beat first-fit {:.1}",
+            ia.makespan,
+            ff.makespan
+        );
+        assert_eq!(ia.qos_violation_time, 0.0);
+        assert!(ff.qos_violation_time > 0.0);
+    }
+
+    #[test]
+    fn queueing_happens_when_cluster_is_full() {
+        let m = matrix();
+        let jobs = burst(&[0, 0, 0, 0, 0]); // 5 jobs, 1 node (2 slots)
+        let out = simulate(&m, &FirstFit, &jobs, 1, 1.5);
+        // At most 2 at a time at ~1.05x: makespan well above 2 batch times.
+        assert!(out.makespan > 20.0, "makespan {:.1}", out.makespan);
+        assert!(out.mean_stretch > 1.5);
+    }
+
+    #[test]
+    fn staggered_arrivals_respect_arrival_times() {
+        let m = matrix();
+        let jobs = vec![
+            Job { app: 0, arrival: 0.0, work: 5.0 },
+            Job { app: 0, arrival: 100.0, work: 5.0 },
+        ];
+        let out = simulate(&m, &FirstFit, &jobs, 1, 1.5);
+        assert!((out.makespan - 105.0 - 0.25).abs() < 0.5, "makespan {}", out.makespan);
+    }
+
+    #[test]
+    fn node_seconds_track_energy_proxy() {
+        let m = matrix();
+        // Two harmless jobs on one shared node vs two nodes.
+        let jobs = burst(&[0, 0]);
+        let shared = simulate(&m, &FirstFit, &jobs, 1, 1.5);
+        let spread = simulate(&m, &FirstFit, &jobs, 2, 1.5);
+        assert!(
+            shared.node_seconds < spread.node_seconds,
+            "consolidation should save node-seconds: {:.1} vs {:.1}",
+            shared.node_seconds,
+            spread.node_seconds
+        );
+    }
+
+    #[test]
+    fn same_app_pairs_use_the_matrix_diagonal() {
+        // Self-co-run slowdown on the diagonal: two "loud" jobs sharing a
+        // node run at 1/2x each when slow[1][1] = 2.
+        let m = CostMatrix {
+            names: vec!["quiet".into(), "loud".into()],
+            slow: vec![vec![1.0, 1.0], vec![1.0, 2.0]],
+        };
+        let jobs = burst(&[1, 1]);
+        let out = simulate(&m, &FirstFit, &jobs, 1, 3.0);
+        // Both at rate 0.5: 10 units of work finish at t=20.
+        assert!((out.makespan - 20.0).abs() < 1e-6, "makespan {}", out.makespan);
+    }
+
+    #[test]
+    fn completion_frees_slot_for_queued_job() {
+        let m = matrix();
+        let jobs = vec![
+            Job { app: 0, arrival: 0.0, work: 10.0 },
+            Job { app: 0, arrival: 0.0, work: 10.0 },
+            Job { app: 0, arrival: 0.0, work: 10.0 },
+        ];
+        // One node, strict: third job queues until a slot frees.
+        let strict = InterferenceAware { qos_cap: 1.5, strict: true };
+        let out = simulate(&m, &strict, &jobs, 1, 1.5);
+        assert_eq!(out.qos_violation_time, 0.0);
+        // Two run together (~10.5), then the third (~10 more).
+        assert!(out.makespan > 15.0 && out.makespan < 25.0, "makespan {}", out.makespan);
+    }
+
+    #[test]
+    fn strict_policy_queues_rather_than_violate() {
+        let m = matrix();
+        let jobs = burst(&[0, 1]);
+        let strict = InterferenceAware { qos_cap: 1.5, strict: true };
+        let out = simulate(&m, &strict, &jobs, 1, 1.5);
+        assert_eq!(out.qos_violation_time, 0.0);
+        // Serialized: ~10 + ~10.
+        assert!(out.makespan > 19.0, "makespan {:.1}", out.makespan);
+    }
+}

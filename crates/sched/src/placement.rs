@@ -1,0 +1,116 @@
+//! Placements and their quality metrics.
+
+use serde::{Deserialize, Serialize};
+
+use crate::matrix::CostMatrix;
+
+/// An assignment of jobs to nodes: two-job bundles plus solo leftovers.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Placement {
+    /// Paired jobs (indices into the cost matrix).
+    pub bundles: Vec<(usize, usize)>,
+    /// Jobs running alone on their own node.
+    pub solo: Vec<usize>,
+}
+
+impl Placement {
+    /// Asserts the placement is a partition of `0..n` and returns it.
+    pub fn validated(self, n: usize) -> Self {
+        let mut seen = vec![false; n];
+        let mut mark = |i: usize| {
+            assert!(i < n, "job index {i} out of range");
+            assert!(!seen[i], "job {i} placed twice");
+            seen[i] = true;
+        };
+        for &(a, b) in &self.bundles {
+            assert_ne!(a, b, "cannot bundle a job with itself");
+            mark(a);
+            mark(b);
+        }
+        for &s in &self.solo {
+            mark(s);
+        }
+        assert!(seen.iter().all(|&x| x), "every job must be placed");
+        self
+    }
+
+    /// Number of nodes used.
+    pub fn nodes(&self) -> usize {
+        self.bundles.len() + self.solo.len()
+    }
+
+    /// Mean worst-direction slowdown across bundles (solo jobs count 1.0).
+    pub fn mean_cost(&self, m: &CostMatrix) -> f64 {
+        let total: f64 = self
+            .bundles
+            .iter()
+            .map(|&(a, b)| m.cost(a, b))
+            .chain(self.solo.iter().map(|_| 1.0))
+            .sum();
+        total / self.nodes().max(1) as f64
+    }
+
+    /// Aggregate throughput: each job contributes `1 / its own slowdown`
+    /// (normalized progress per unit time), solo jobs contribute 1.
+    pub fn throughput(&self, m: &CostMatrix) -> f64 {
+        self.bundles
+            .iter()
+            .map(|&(a, b)| 1.0 / m.directed(a, b) + 1.0 / m.directed(b, a))
+            .chain(self.solo.iter().map(|_| 1.0))
+            .sum()
+    }
+
+    /// Bundles whose worse direction breaches the QoS threshold.
+    pub fn qos_violations(&self, m: &CostMatrix, threshold: f64) -> usize {
+        self.bundles.iter().filter(|&&(a, b)| m.cost(a, b) >= threshold).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix() -> CostMatrix {
+        CostMatrix {
+            names: vec!["a".into(), "b".into(), "c".into(), "d".into()],
+            slow: vec![
+                vec![1.0, 2.0, 1.0, 1.0],
+                vec![2.0, 1.0, 1.0, 1.0],
+                vec![1.0, 1.0, 1.0, 1.25],
+                vec![1.0, 1.0, 1.25, 1.0],
+            ],
+        }
+    }
+
+    #[test]
+    fn metrics_on_a_simple_placement() {
+        let m = matrix();
+        let p = Placement { bundles: vec![(0, 1), (2, 3)], solo: vec![] }.validated(4);
+        assert_eq!(p.nodes(), 2);
+        assert!((p.mean_cost(&m) - (2.0 + 1.25) / 2.0).abs() < 1e-12);
+        assert_eq!(p.qos_violations(&m, 1.5), 1);
+        let tp = p.throughput(&m);
+        assert!((tp - (0.5 + 0.5 + 0.8 + 0.8)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solo_jobs_count_as_unit() {
+        let m = matrix();
+        let p = Placement { bundles: vec![(2, 3)], solo: vec![0, 1] }.validated(4);
+        assert_eq!(p.nodes(), 3);
+        assert_eq!(p.qos_violations(&m, 1.5), 0);
+        assert!((p.throughput(&m) - (0.8 + 0.8 + 2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "placed twice")]
+    fn duplicate_placement_panics() {
+        let _ = Placement { bundles: vec![(0, 1)], solo: vec![1, 2, 3] }.validated(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "every job")]
+    fn missing_job_panics() {
+        let _ = Placement { bundles: vec![(0, 1)], solo: vec![] }.validated(4);
+    }
+}

@@ -1,0 +1,87 @@
+//! Scheduling policies.
+
+pub mod greedy;
+pub mod naive;
+pub mod optimal;
+pub mod stable;
+
+pub use greedy::Greedy;
+pub use naive::Naive;
+pub use optimal::Optimal;
+pub use stable::Stable;
+
+use crate::matrix::CostMatrix;
+use crate::placement::Placement;
+
+/// A consolidation policy: maps pairwise costs to a placement.
+pub trait Scheduler {
+    /// Human-readable policy name.
+    fn name(&self) -> &'static str;
+
+    /// Produces a placement for all jobs in the matrix.
+    fn schedule(&self, m: &CostMatrix) -> Placement;
+}
+
+/// Pairs up `indices` in order: helper shared by simple policies.
+pub(crate) fn pair_in_order(indices: &[usize]) -> Placement {
+    let mut bundles = Vec::new();
+    let mut solo = Vec::new();
+    let mut it = indices.chunks_exact(2);
+    for c in &mut it {
+        bundles.push((c[0], c[1]));
+    }
+    solo.extend_from_slice(it.remainder());
+    Placement { bundles, solo }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use crate::matrix::CostMatrix;
+
+    /// A deterministic pseudo-random symmetric-ish cost matrix.
+    pub fn random_matrix(n: usize, seed: u64) -> CostMatrix {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            1.0 + (state % 1000) as f64 / 700.0
+        };
+        let mut slow = vec![vec![1.0; n]; n];
+        for (i, row) in slow.iter_mut().enumerate() {
+            for (j, cell) in row.iter_mut().enumerate() {
+                if i != j {
+                    *cell = next();
+                }
+            }
+        }
+        CostMatrix { names: (0..n).map(|i| format!("job{i}")).collect(), slow }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_in_order_handles_odd_counts() {
+        let p = pair_in_order(&[3, 1, 4, 1, 5]);
+        assert_eq!(p.bundles, vec![(3, 1), (4, 1)]);
+        assert_eq!(p.solo, vec![5]);
+    }
+
+    #[test]
+    fn every_policy_produces_a_valid_partition() {
+        let m = testutil::random_matrix(9, 42);
+        let policies: Vec<Box<dyn Scheduler>> = vec![
+            Box::new(Naive),
+            Box::new(Greedy),
+            Box::new(Optimal),
+            Box::new(Stable::by_vulnerability()),
+        ];
+        for p in policies {
+            let placement = p.schedule(&m).validated(m.len());
+            assert_eq!(placement.nodes(), 5, "{}", p.name());
+        }
+    }
+}

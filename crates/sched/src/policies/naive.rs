@@ -1,0 +1,41 @@
+//! Queue-order pairing: the interference-oblivious baseline every
+//! scheduling paper compares against.
+
+use crate::matrix::CostMatrix;
+use crate::placement::Placement;
+use crate::policies::{pair_in_order, Scheduler};
+
+/// Pairs jobs in arrival (matrix) order.
+pub struct Naive;
+
+impl Scheduler for Naive {
+    fn name(&self) -> &'static str {
+        "naive"
+    }
+
+    fn schedule(&self, m: &CostMatrix) -> Placement {
+        let order: Vec<usize> = (0..m.len()).collect();
+        pair_in_order(&order)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::testutil::random_matrix;
+
+    #[test]
+    fn pairs_in_queue_order() {
+        let m = random_matrix(6, 1);
+        let p = Naive.schedule(&m).validated(6);
+        assert_eq!(p.bundles, vec![(0, 1), (2, 3), (4, 5)]);
+        assert!(p.solo.is_empty());
+    }
+
+    #[test]
+    fn odd_job_runs_alone() {
+        let m = random_matrix(5, 2);
+        let p = Naive.schedule(&m).validated(5);
+        assert_eq!(p.solo, vec![4]);
+    }
+}

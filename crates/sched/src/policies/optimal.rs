@@ -1,0 +1,178 @@
+//! Exact minimum-cost matching by bitmask dynamic programming.
+
+use crate::matrix::CostMatrix;
+use crate::placement::Placement;
+use crate::policies::Scheduler;
+
+/// Maximum job count the exact solver accepts (2^n states).
+pub const MAX_JOBS: usize = 20;
+
+/// Exact minimizer of the summed bundle cost (equivalently the mean):
+/// O(2^n * n) over all perfect matchings (one job may stay solo when `n`
+/// is odd, at cost 1.0). The gold standard the heuristics are judged
+/// against.
+pub struct Optimal;
+
+impl Scheduler for Optimal {
+    fn name(&self) -> &'static str {
+        "optimal"
+    }
+
+    fn schedule(&self, m: &CostMatrix) -> Placement {
+        let n = m.len();
+        assert!(n <= MAX_JOBS, "exact matching supports up to {MAX_JOBS} jobs, got {n}");
+        if n == 0 {
+            return Placement { bundles: vec![], solo: vec![] };
+        }
+        let full: u32 = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
+        // dp[mask] = min cost to place the jobs in `mask`; `solo_used[mask]`
+        // tracks whether the odd slot was already consumed.
+        let size = 1usize << n;
+        let mut dp = vec![f64::INFINITY; size];
+        let mut choice: Vec<(usize, usize)> = vec![(usize::MAX, usize::MAX); size];
+        dp[0] = 0.0;
+        let allow_solo = n % 2 == 1;
+        for mask in 0..size as u32 {
+            if dp[mask as usize].is_infinite() {
+                continue;
+            }
+            // First unplaced job (canonical ordering kills symmetry).
+            let rest = (!mask) & full;
+            if rest == 0 {
+                continue;
+            }
+            let a = rest.trailing_zeros() as usize;
+            // Option 1: pair `a` with each other unplaced job.
+            let mut others = rest & !(1 << a);
+            while others != 0 {
+                let b = others.trailing_zeros() as usize;
+                others &= others - 1;
+                let nm = (mask | (1 << a) | (1 << b)) as usize;
+                let cand = dp[mask as usize] + m.cost(a, b);
+                if cand < dp[nm] {
+                    dp[nm] = cand;
+                    choice[nm] = (a, b);
+                }
+            }
+            // Option 2: run `a` solo (only one job may, and only if odd n).
+            if allow_solo && (mask.count_ones() as usize).is_multiple_of(2) {
+                let nm = (mask | (1 << a)) as usize;
+                let cand = dp[mask as usize] + 1.0;
+                if cand < dp[nm] {
+                    dp[nm] = cand;
+                    choice[nm] = (a, usize::MAX);
+                }
+            }
+        }
+        // Reconstruct.
+        let mut bundles = Vec::new();
+        let mut solo = Vec::new();
+        let mut mask = full as usize;
+        while mask != 0 {
+            let (a, b) = choice[mask];
+            if b == usize::MAX {
+                solo.push(a);
+                mask &= !(1 << a);
+            } else {
+                bundles.push((a, b));
+                mask &= !((1 << a) | (1 << b));
+            }
+        }
+        Placement { bundles, solo }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::testutil::random_matrix;
+    use crate::policies::{Greedy, Naive};
+
+    #[test]
+    fn finds_the_obvious_optimum() {
+        // Costs force the matching {0-2, 1-3}.
+        let m = CostMatrix {
+            names: (0..4).map(|i| format!("j{i}")).collect(),
+            slow: vec![
+                vec![1.0, 5.0, 1.1, 5.0],
+                vec![5.0, 1.0, 5.0, 1.2],
+                vec![1.1, 5.0, 1.0, 5.0],
+                vec![5.0, 1.2, 5.0, 1.0],
+            ],
+        };
+        let p = Optimal.schedule(&m).validated(4);
+        let mut bundles: Vec<(usize, usize)> =
+            p.bundles.iter().map(|&(a, b)| (a.min(b), a.max(b))).collect();
+        bundles.sort();
+        assert_eq!(bundles, vec![(0, 2), (1, 3)]);
+    }
+
+    #[test]
+    fn never_worse_than_heuristics() {
+        for seed in 1..20u64 {
+            for n in [4usize, 7, 10, 13] {
+                let m = random_matrix(n, seed);
+                let opt = Optimal.schedule(&m).validated(n).mean_cost(&m);
+                let grd = Greedy.schedule(&m).validated(n).mean_cost(&m);
+                let nve = Naive.schedule(&m).validated(n).mean_cost(&m);
+                assert!(opt <= grd + 1e-9, "n={n} seed={seed}: {opt} > greedy {grd}");
+                assert!(opt <= nve + 1e-9, "n={n} seed={seed}: {opt} > naive {nve}");
+            }
+        }
+    }
+
+    #[test]
+    fn odd_count_leaves_exactly_one_solo() {
+        let m = random_matrix(7, 3);
+        let p = Optimal.schedule(&m).validated(7);
+        assert_eq!(p.solo.len(), 1);
+        assert_eq!(p.bundles.len(), 3);
+    }
+
+    #[test]
+    fn brute_force_agreement_on_small_instances() {
+        // Exhaustive check against all matchings for n = 4 and 6.
+        fn brute(m: &CostMatrix, avail: &[usize]) -> f64 {
+            if avail.len() < 2 {
+                return avail.len() as f64; // solo cost 1.0 each
+            }
+            let a = avail[0];
+            let mut best = f64::INFINITY;
+            for i in 1..avail.len() {
+                let b = avail[i];
+                let rest: Vec<usize> =
+                    avail.iter().copied().filter(|&x| x != a && x != b).collect();
+                best = best.min(m.cost(a, b) + brute(m, &rest));
+            }
+            // a solo (only useful for odd counts):
+            if avail.len() % 2 == 1 {
+                best = best.min(1.0 + brute(m, &avail[1..]));
+            }
+            best
+        }
+        for seed in 1..12u64 {
+            for n in [4usize, 5, 6] {
+                let m = random_matrix(n, seed);
+                let p = Optimal.schedule(&m).validated(n);
+                let dp_total: f64 = p
+                    .bundles
+                    .iter()
+                    .map(|&(a, b)| m.cost(a, b))
+                    .chain(p.solo.iter().map(|_| 1.0))
+                    .sum();
+                let bf = brute(&m, &(0..n).collect::<Vec<_>>());
+                assert!(
+                    (dp_total - bf).abs() < 1e-9,
+                    "n={n} seed={seed}: dp {dp_total} vs brute {bf}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "up to")]
+    fn too_many_jobs_panics() {
+        let m = random_matrix(21, 1);
+        let _ = Optimal.schedule(&m);
+    }
+}

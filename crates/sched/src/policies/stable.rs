@@ -1,0 +1,183 @@
+//! Stable matching between QoS-sensitive and batch jobs.
+//!
+//! Cooper (HPCA'17, paper ref [6]) frames colocation as a cooperative
+//! matching game; Bubble-flux and the preemption schedulers split the
+//! world into latency-critical foregrounds and throughput backgrounds.
+//! This policy does the bipartite version: the more vulnerable half of
+//! the jobs are "QoS" proposers, the rest "batch" acceptors, matched by
+//! Gale-Shapley. The result is *stable*: no QoS/batch pair would both
+//! prefer each other over their assigned partners.
+
+use crate::matrix::CostMatrix;
+use crate::placement::Placement;
+use crate::policies::Scheduler;
+
+/// Gale-Shapley stable matching with configurable side assignment.
+pub struct Stable {
+    split: SplitRule,
+}
+
+enum SplitRule {
+    /// The more-vulnerable half propose (default).
+    ByVulnerability,
+    /// Explicit proposer set (indices into the matrix).
+    Explicit(Vec<usize>),
+}
+
+impl Stable {
+    /// QoS side = the more vulnerable half of the jobs.
+    pub fn by_vulnerability() -> Self {
+        Stable { split: SplitRule::ByVulnerability }
+    }
+
+    /// QoS side given explicitly (e.g. jobs with latency SLOs).
+    pub fn with_qos_jobs(qos: Vec<usize>) -> Self {
+        Stable { split: SplitRule::Explicit(qos) }
+    }
+
+    fn sides(&self, m: &CostMatrix) -> (Vec<usize>, Vec<usize>) {
+        match &self.split {
+            SplitRule::Explicit(qos) => {
+                let batch: Vec<usize> =
+                    (0..m.len()).filter(|i| !qos.contains(i)).collect();
+                (qos.clone(), batch)
+            }
+            SplitRule::ByVulnerability => {
+                let mut order: Vec<usize> = (0..m.len()).collect();
+                order.sort_by(|&a, &b| m.vulnerability(b).total_cmp(&m.vulnerability(a)));
+                let half = m.len() / 2;
+                let qos = order[..half].to_vec();
+                let batch = order[half..].to_vec();
+                (qos, batch)
+            }
+        }
+    }
+}
+
+impl Scheduler for Stable {
+    fn name(&self) -> &'static str {
+        "stable"
+    }
+
+    fn schedule(&self, m: &CostMatrix) -> Placement {
+        let (qos, batch) = self.sides(m);
+        // Preference lists: QoS job q ranks batch jobs by q's own slowdown
+        // under them; batch job b ranks QoS jobs by b's slowdown.
+        let prefs: Vec<Vec<usize>> = qos
+            .iter()
+            .map(|&q| {
+                let mut order = batch.clone();
+                order.sort_by(|&x, &y| m.directed(q, x).total_cmp(&m.directed(q, y)));
+                order
+            })
+            .collect();
+        let rank_of = |b: usize, q: usize| -> f64 { m.directed(b, q) };
+
+        // Gale-Shapley: QoS jobs propose down their preference lists.
+        let mut next_proposal = vec![0usize; qos.len()];
+        let mut engaged_to: Vec<Option<usize>> = vec![None; batch.len()]; // batch slot -> qos idx
+        let batch_pos: std::collections::HashMap<usize, usize> =
+            batch.iter().enumerate().map(|(i, &b)| (b, i)).collect();
+        let mut free: Vec<usize> = (0..qos.len()).collect();
+        while let Some(qi) = free.pop() {
+            if next_proposal[qi] >= prefs[qi].len() {
+                continue; // exhausted: stays solo
+            }
+            let b = prefs[qi][next_proposal[qi]];
+            next_proposal[qi] += 1;
+            let bi = batch_pos[&b];
+            match engaged_to[bi] {
+                None => engaged_to[bi] = Some(qi),
+                Some(cur) => {
+                    // Batch job prefers the proposer that hurts it less.
+                    if rank_of(b, qos[qi]) < rank_of(b, qos[cur]) {
+                        engaged_to[bi] = Some(qi);
+                        free.push(cur);
+                    } else {
+                        free.push(qi);
+                    }
+                }
+            }
+        }
+
+        let mut bundles = Vec::new();
+        let mut placed = vec![false; m.len()];
+        for (bi, q) in engaged_to.iter().enumerate() {
+            if let Some(qi) = q {
+                bundles.push((qos[*qi], batch[bi]));
+                placed[qos[*qi]] = true;
+                placed[batch[bi]] = true;
+            }
+        }
+        // Leftovers (odd counts, exhausted lists) pair among themselves.
+        let leftovers: Vec<usize> = (0..m.len()).filter(|&i| !placed[i]).collect();
+        let tail = crate::policies::pair_in_order(&leftovers);
+        bundles.extend(tail.bundles);
+        Placement { bundles, solo: tail.solo }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::testutil::random_matrix;
+
+    #[test]
+    fn matching_is_stable() {
+        // No (qos, batch) pair may both strictly prefer each other over
+        // their assigned partners.
+        for seed in 1..16u64 {
+            let m = random_matrix(8, seed);
+            let policy = Stable::by_vulnerability();
+            let (qos, batch) = policy.sides(&m);
+            let p = policy.schedule(&m).validated(8);
+            let partner = |x: usize| -> Option<usize> {
+                p.bundles.iter().find_map(|&(a, b)| {
+                    (a == x).then_some(b).or((b == x).then_some(a))
+                })
+            };
+            for &q in &qos {
+                for &b in &batch {
+                    let (Some(pq), Some(pb)) = (partner(q), partner(b)) else { continue };
+                    if pq == b {
+                        continue;
+                    }
+                    let q_prefers = m.directed(q, b) < m.directed(q, pq);
+                    let b_prefers = m.directed(b, q) < m.directed(b, pb);
+                    assert!(
+                        !(q_prefers && b_prefers),
+                        "blocking pair ({q},{b}) in seed {seed}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_qos_side_is_respected() {
+        let m = random_matrix(6, 5);
+        let p = Stable::with_qos_jobs(vec![0, 1, 2]).schedule(&m).validated(6);
+        for &(a, b) in &p.bundles {
+            let qos_count = usize::from(a < 3) + usize::from(b < 3);
+            assert_eq!(qos_count, 1, "each bundle pairs one QoS with one batch job");
+        }
+    }
+
+    #[test]
+    fn vulnerable_jobs_propose_first() {
+        // The most toxic mutual pair must not end up together.
+        let m = CostMatrix {
+            names: (0..4).map(|i| format!("j{i}")).collect(),
+            slow: vec![
+                vec![1.0, 4.0, 1.1, 1.2],
+                vec![4.0, 1.0, 1.3, 1.1],
+                vec![1.0, 1.0, 1.0, 1.1],
+                vec![1.0, 1.0, 1.1, 1.0],
+            ],
+        };
+        let p = Stable::by_vulnerability().schedule(&m).validated(4);
+        for &(a, b) in &p.bundles {
+            assert!(!(a.min(b) == 0 && a.max(b) == 1));
+        }
+    }
+}

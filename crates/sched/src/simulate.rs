@@ -1,0 +1,113 @@
+//! Closing the loop: validate a placement by actually co-running it.
+//!
+//! A scheduler plans from the cost matrix; `validate` re-runs every
+//! planned bundle in the simulator and reports planned vs measured
+//! bundle costs — catching prediction error when the matrix came from
+//! Bubble-Up curves rather than direct measurement.
+
+use cochar_colocation::Study;
+use serde::{Deserialize, Serialize};
+
+use crate::matrix::CostMatrix;
+use crate::placement::Placement;
+
+/// Planned vs measured result for one bundle.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BundleOutcome {
+    /// First job of the bundle.
+    pub a: String,
+    /// Second job of the bundle.
+    pub b: String,
+    /// Worse-direction slowdown the plan assumed.
+    pub planned_cost: f64,
+    /// Worse-direction slowdown actually measured.
+    pub measured_cost: f64,
+}
+
+/// Validation report for a whole placement.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ValidationReport {
+    /// One outcome per planned bundle.
+    pub bundles: Vec<BundleOutcome>,
+}
+
+impl ValidationReport {
+    /// Mean absolute relative error of the plan's cost estimates.
+    pub fn mean_relative_error(&self) -> f64 {
+        if self.bundles.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = self
+            .bundles
+            .iter()
+            .map(|b| (b.planned_cost - b.measured_cost).abs() / b.measured_cost)
+            .sum();
+        sum / self.bundles.len() as f64
+    }
+
+    /// Measured mean bundle cost.
+    pub fn measured_mean_cost(&self) -> f64 {
+        if self.bundles.is_empty() {
+            return 1.0;
+        }
+        self.bundles.iter().map(|b| b.measured_cost).sum::<f64>() / self.bundles.len() as f64
+    }
+}
+
+/// Re-runs every bundle of `placement` in both directions and compares
+/// with the matrix the scheduler planned from.
+pub fn validate(study: &Study, m: &CostMatrix, placement: &Placement) -> ValidationReport {
+    let bundles = placement
+        .bundles
+        .iter()
+        .map(|&(a, b)| {
+            let (na, nb) = (m.names[a].as_str(), m.names[b].as_str());
+            let fwd = study.pair(na, nb).fg_slowdown;
+            let rev = study.pair(nb, na).fg_slowdown;
+            BundleOutcome {
+                a: na.to_string(),
+                b: nb.to_string(),
+                planned_cost: m.cost(a, b),
+                measured_cost: fwd.max(rev),
+            }
+        })
+        .collect();
+    ValidationReport { bundles }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::{Greedy, Scheduler};
+    use cochar_machine::MachineConfig;
+    use cochar_workloads::{Registry, Scale};
+    use std::sync::Arc;
+
+    #[test]
+    fn measured_matrix_validates_exactly() {
+        let study = Study::new(
+            MachineConfig::tiny(),
+            Arc::new(Registry::new(Scale::tiny())),
+        )
+        .with_threads(1);
+        let jobs = ["stream", "swaptions", "freqmine", "bandit"];
+        let m = CostMatrix::measure(&study, &jobs);
+        let placement = Greedy.schedule(&m).validated(4);
+        let report = validate(&study, &m, &placement);
+        // The matrix was measured by the same deterministic study, so the
+        // plan must match the validation exactly.
+        assert!(
+            report.mean_relative_error() < 1e-9,
+            "error {}",
+            report.mean_relative_error()
+        );
+        assert!(report.measured_mean_cost() >= 1.0);
+    }
+
+    #[test]
+    fn empty_placement_reports_cleanly() {
+        let r = ValidationReport { bundles: vec![] };
+        assert_eq!(r.mean_relative_error(), 0.0);
+        assert_eq!(r.measured_mean_cost(), 1.0);
+    }
+}

@@ -1,0 +1,60 @@
+//! Property-based tests for the scheduling policies.
+
+use proptest::prelude::*;
+
+use cochar_sched::{CostMatrix, Greedy, Naive, Optimal, Scheduler, Stable};
+
+fn matrix_strategy(max_n: usize) -> impl Strategy<Value = CostMatrix> {
+    (2..=max_n).prop_flat_map(|n| {
+        prop::collection::vec(prop::collection::vec(1.0f64..3.0, n), n).prop_map(move |mut s| {
+            for (i, row) in s.iter_mut().enumerate() {
+                row[i] = 1.0;
+            }
+            CostMatrix { names: (0..n).map(|i| format!("j{i}")).collect(), slow: s }
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn all_policies_produce_valid_partitions(m in matrix_strategy(12)) {
+        let n = m.len();
+        for policy in [&Naive as &dyn Scheduler, &Greedy, &Optimal] {
+            let p = policy.schedule(&m).validated(n);
+            prop_assert_eq!(p.bundles.len() * 2 + p.solo.len(), n);
+            prop_assert!(p.solo.len() <= 1 || policy.name() == "stable");
+        }
+        let p = Stable::by_vulnerability().schedule(&m).validated(n);
+        prop_assert_eq!(p.bundles.len() * 2 + p.solo.len(), n);
+    }
+
+    #[test]
+    fn optimal_lower_bounds_every_policy(m in matrix_strategy(12)) {
+        let opt = Optimal.schedule(&m).mean_cost(&m);
+        for policy in [&Naive as &dyn Scheduler, &Greedy, &Stable::by_vulnerability()] {
+            let c = policy.schedule(&m).mean_cost(&m);
+            prop_assert!(
+                opt <= c + 1e-9,
+                "{} cost {c} below optimal {opt}", policy.name()
+            );
+        }
+    }
+
+    #[test]
+    fn costs_are_at_least_unity(m in matrix_strategy(10)) {
+        let p = Greedy.schedule(&m);
+        prop_assert!(p.mean_cost(&m) >= 1.0 - 1e-9);
+        prop_assert!(p.throughput(&m) <= m.len() as f64 + 1e-9);
+    }
+
+    #[test]
+    fn qos_violations_consistent_with_threshold(m in matrix_strategy(10)) {
+        let p = Optimal.schedule(&m);
+        let loose = p.qos_violations(&m, 1.01);
+        let tight = p.qos_violations(&m, 2.99);
+        prop_assert!(tight <= loose, "raising the threshold cannot add violations");
+        prop_assert!(loose <= p.bundles.len());
+    }
+}

@@ -1,0 +1,291 @@
+//! Stream combinators: chaining, interleaving, compute padding, barrier
+//! loops, and Amdahl serial fractions.
+//!
+//! These shape the *scalability* of workload models: serial fractions and
+//! barrier costs are what make P-SSSP, ATIS, and AMG2006 scale poorly in
+//! the paper, independent of their memory behaviour.
+
+use crate::slot::{Slot, SlotStream};
+
+/// Runs child streams back to back (workload phases).
+pub struct Chain {
+    parts: Vec<Box<dyn SlotStream>>,
+    idx: usize,
+}
+
+impl Chain {
+    /// Chains `parts` in order.
+    pub fn new(parts: Vec<Box<dyn SlotStream>>) -> Self {
+        Chain { parts, idx: 0 }
+    }
+}
+
+impl SlotStream for Chain {
+    fn next_slot(&mut self) -> Option<Slot> {
+        while self.idx < self.parts.len() {
+            if let Some(s) = self.parts[self.idx].next_slot() {
+                return Some(s);
+            }
+            self.idx += 1;
+        }
+        None
+    }
+}
+
+/// Weighted round-robin interleaving of child streams: `weights[i]` slots
+/// from child `i`, then the next child, until every child is exhausted.
+/// Models applications whose hot loop mixes several access patterns.
+pub struct Interleave {
+    children: Vec<(Box<dyn SlotStream>, u32, bool)>,
+    cur: usize,
+    left: u32,
+}
+
+impl Interleave {
+    /// Interleaves `children` weighted round-robin; weights must be positive.
+    pub fn new(children: Vec<(Box<dyn SlotStream>, u32)>) -> Self {
+        assert!(!children.is_empty());
+        assert!(children.iter().all(|(_, w)| *w > 0), "weights must be positive");
+        let left = children[0].1;
+        let children = children.into_iter().map(|(c, w)| (c, w, false)).collect();
+        Interleave { children, cur: 0, left }
+    }
+
+    fn advance(&mut self) {
+        let n = self.children.len();
+        for _ in 0..n {
+            self.cur = (self.cur + 1) % n;
+            if !self.children[self.cur].2 {
+                self.left = self.children[self.cur].1;
+                return;
+            }
+        }
+    }
+}
+
+impl SlotStream for Interleave {
+    fn next_slot(&mut self) -> Option<Slot> {
+        let n = self.children.len();
+        for _ in 0..=n {
+            if self.children[self.cur].2 {
+                self.advance();
+                continue;
+            }
+            if self.left == 0 {
+                self.advance();
+                continue;
+            }
+            match self.children[self.cur].0.next_slot() {
+                Some(s) => {
+                    self.left -= 1;
+                    return Some(s);
+                }
+                None => {
+                    self.children[self.cur].2 = true;
+                    self.advance();
+                }
+            }
+        }
+        if self.children.iter().all(|(_, _, done)| *done) {
+            None
+        } else {
+            // At least one child is live; recurse once more.
+            self.next_slot()
+        }
+    }
+}
+
+/// Pure compute: `total` instructions emitted in `batch`-sized slots.
+/// Models CPU-bound codes (swaptions, deepsjeng's search).
+pub struct ComputeStream {
+    remaining: u64,
+    batch: u32,
+}
+
+impl ComputeStream {
+    /// `total` compute instructions in `batch`-sized slots.
+    pub fn new(total: u64, batch: u32) -> Self {
+        assert!(batch > 0);
+        ComputeStream { remaining: total, batch }
+    }
+}
+
+impl SlotStream for ComputeStream {
+    fn next_slot(&mut self) -> Option<Slot> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let n = self.remaining.min(u64::from(self.batch)) as u32;
+        self.remaining -= u64::from(n);
+        Some(Slot::Compute(n))
+    }
+}
+
+/// Iteration loop with a per-iteration synchronization cost.
+///
+/// Each iteration emits the stream built by `body(iter)` followed by a
+/// `Compute` slot of `barrier_cost` cycles — the model of
+/// `kmp_hyper_barrier_release` spinning that makes ATIS scale at 1× in the
+/// paper (80% of cycles in the barrier above 2 threads). The caller makes
+/// `barrier_cost` grow with the thread count.
+pub struct BarrierLoop {
+    body: Box<dyn FnMut(u64) -> Box<dyn SlotStream> + Send>,
+    iterations: u64,
+    iter: u64,
+    barrier_cost: u64,
+    current: Option<Box<dyn SlotStream>>,
+    in_barrier: u64,
+}
+
+impl BarrierLoop {
+    /// `iterations` runs of `body(iter)`, each followed by `barrier_cost` cycles.
+    pub fn new(
+        iterations: u64,
+        barrier_cost: u64,
+        body: Box<dyn FnMut(u64) -> Box<dyn SlotStream> + Send>,
+    ) -> Self {
+        BarrierLoop { body, iterations, iter: 0, barrier_cost, current: None, in_barrier: 0 }
+    }
+}
+
+impl SlotStream for BarrierLoop {
+    fn next_slot(&mut self) -> Option<Slot> {
+        loop {
+            if self.in_barrier > 0 {
+                let n = self.in_barrier.min(u64::from(u32::MAX)) as u32;
+                self.in_barrier -= u64::from(n);
+                return Some(Slot::Compute(n));
+            }
+            if let Some(cur) = self.current.as_mut() {
+                if let Some(s) = cur.next_slot() {
+                    return Some(s);
+                }
+                self.current = None;
+                self.in_barrier = self.barrier_cost;
+                continue;
+            }
+            if self.iter >= self.iterations {
+                return None;
+            }
+            self.current = Some((self.body)(self.iter));
+            self.iter += 1;
+        }
+    }
+}
+
+/// Amdahl's-law work splitting: a serial section is *replicated* on every
+/// thread (all threads spend its full time), while the parallel section is
+/// divided. Under the simulator this yields exactly
+/// `T(t) = serial + parallel / t`.
+pub struct SerialParallel;
+
+impl SerialParallel {
+    /// Splits `total` work units with `serial_pml` ‰ serial fraction for a
+    /// run with `threads` threads. Returns `(serial_units, parallel_units_per_thread)`.
+    pub fn shares(total: u64, serial_pml: u16, threads: usize) -> (u64, u64) {
+        assert!(serial_pml <= 1000);
+        assert!(threads > 0);
+        let serial = total * u64::from(serial_pml) / 1000;
+        let parallel = (total - serial) / threads as u64;
+        (serial, parallel)
+    }
+
+    /// The ideal Amdahl speedup for the given serial fraction.
+    pub fn ideal_speedup(serial_pml: u16, threads: usize) -> f64 {
+        let f = f64::from(serial_pml) / 1000.0;
+        1.0 / (f + (1.0 - f) / threads as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slot::{collect_slots, VecStream};
+
+    fn compute_vec(vals: &[u32]) -> Box<dyn SlotStream> {
+        Box::new(VecStream::new(vals.iter().map(|&v| Slot::Compute(v)).collect()))
+    }
+
+    #[test]
+    fn chain_runs_parts_in_order() {
+        let mut c = Chain::new(vec![compute_vec(&[1, 2]), compute_vec(&[3])]);
+        let slots = collect_slots(&mut c, 10);
+        assert_eq!(slots, vec![Slot::Compute(1), Slot::Compute(2), Slot::Compute(3)]);
+    }
+
+    #[test]
+    fn chain_skips_empty_parts() {
+        let mut c = Chain::new(vec![compute_vec(&[]), compute_vec(&[7]), compute_vec(&[])]);
+        assert_eq!(collect_slots(&mut c, 10), vec![Slot::Compute(7)]);
+    }
+
+    #[test]
+    fn interleave_respects_weights() {
+        let mut i = Interleave::new(vec![(compute_vec(&[1, 1, 1, 1]), 2), (compute_vec(&[9, 9]), 1)]);
+        let slots = collect_slots(&mut i, 10);
+        assert_eq!(
+            slots,
+            vec![
+                Slot::Compute(1),
+                Slot::Compute(1),
+                Slot::Compute(9),
+                Slot::Compute(1),
+                Slot::Compute(1),
+                Slot::Compute(9),
+            ]
+        );
+    }
+
+    #[test]
+    fn interleave_drains_longer_child() {
+        let mut i = Interleave::new(vec![(compute_vec(&[1]), 1), (compute_vec(&[2, 2, 2]), 1)]);
+        let slots = collect_slots(&mut i, 10);
+        assert_eq!(slots.len(), 4);
+        assert_eq!(slots.iter().filter(|s| **s == Slot::Compute(2)).count(), 3);
+    }
+
+    #[test]
+    fn compute_stream_batches() {
+        let mut c = ComputeStream::new(10, 4);
+        let slots = collect_slots(&mut c, 10);
+        assert_eq!(slots, vec![Slot::Compute(4), Slot::Compute(4), Slot::Compute(2)]);
+    }
+
+    #[test]
+    fn barrier_loop_inserts_barriers() {
+        let mut b = BarrierLoop::new(2, 100, Box::new(|_| {
+            Box::new(VecStream::new(vec![Slot::Compute(1)])) as Box<dyn SlotStream>
+        }));
+        let slots = collect_slots(&mut b, 10);
+        assert_eq!(
+            slots,
+            vec![Slot::Compute(1), Slot::Compute(100), Slot::Compute(1), Slot::Compute(100)]
+        );
+    }
+
+    #[test]
+    fn barrier_loop_zero_iterations_is_empty() {
+        let mut b = BarrierLoop::new(0, 100, Box::new(|_| {
+            Box::new(VecStream::new(vec![Slot::Compute(1)])) as Box<dyn SlotStream>
+        }));
+        assert!(collect_slots(&mut b, 10).is_empty());
+    }
+
+    #[test]
+    fn serial_parallel_shares_sum_correctly() {
+        let (s, p) = SerialParallel::shares(1000, 250, 4);
+        assert_eq!(s, 250);
+        assert_eq!(p, 187); // 750 / 4
+        let (s0, p0) = SerialParallel::shares(1000, 0, 2);
+        assert_eq!(s0, 0);
+        assert_eq!(p0, 500);
+    }
+
+    #[test]
+    fn serial_parallel_ideal_speedup_matches_amdahl() {
+        // f = 0.5, 8 threads: 1 / (0.5 + 0.5/8) = 1.777...
+        let s = SerialParallel::ideal_speedup(500, 8);
+        assert!((s - 1.7777).abs() < 1e-3);
+        assert!((SerialParallel::ideal_speedup(0, 8) - 8.0).abs() < 1e-9);
+    }
+}

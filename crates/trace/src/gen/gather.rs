@@ -1,0 +1,202 @@
+//! Index-driven gather: the graph-analytics signature pattern.
+
+use crate::layout::ArrayRef;
+use crate::rng::Lcg;
+use crate::slot::{Slot, SlotStream};
+
+/// Sequential walk of an index array with a dependent irregular load per
+/// index: `for i { idx = index[i]; acc += data[idx]; }`.
+///
+/// This is the memory signature of the gather phase of vertex-centric graph
+/// processing (PowerGraph's `gather`, Gemini's pull-mode edge scan): one
+/// prefetch-friendly sequential stream (the edge/index array) interleaved
+/// with dependent, cache-unfriendly loads into a large vertex array. The
+/// mix of one regular and one irregular stream is what makes graph
+/// applications simultaneously bandwidth-hungry and latency-sensitive —
+/// i.e. *victims* under co-running (paper Secs. V–VI).
+pub struct Gather {
+    index: ArrayRef,
+    data: ArrayRef,
+    i: u64,
+    end: u64,
+    rng: Lcg,
+    compute_per_gather: u32,
+    /// Locality skew: with probability `hot_pct`%, the dependent load hits
+    /// the first `hot_frac_pml`‰ of `data` — modelling power-law vertex
+    /// popularity where a few hub vertices absorb most references.
+    hot_pct: u8,
+    hot_frac_pml: u16,
+    /// Optional store back to `data` every n gathers (apply/scatter).
+    store_every: u64,
+    gather_no: u64,
+    pc: u32,
+    step: u8,
+}
+
+impl Gather {
+    #[allow(clippy::too_many_arguments)]
+    /// A gather over `index[start..end]` into `data` (see field docs).
+    pub fn new(
+        index: ArrayRef,
+        data: ArrayRef,
+        start: u64,
+        end: u64,
+        compute_per_gather: u32,
+        hot_pct: u8,
+        hot_frac_pml: u16,
+        store_every: u64,
+        seed: u64,
+        pc: u32,
+    ) -> Self {
+        assert!(start <= end && end <= index.count());
+        assert!(hot_pct <= 100);
+        assert!(hot_frac_pml <= 1000);
+        Gather {
+            index,
+            data,
+            i: start,
+            end,
+            rng: Lcg::new(seed),
+            compute_per_gather,
+            hot_pct,
+            hot_frac_pml,
+            store_every,
+            gather_no: 0,
+            pc,
+            step: 0,
+        }
+    }
+
+    fn data_index(&mut self) -> u64 {
+        let n = self.data.count();
+        if u64::from(self.hot_pct) > self.rng.next_below(100) {
+            let hot = (n * u64::from(self.hot_frac_pml) / 1000).max(1);
+            self.rng.next_below(hot)
+        } else {
+            self.rng.next_below(n)
+        }
+    }
+}
+
+impl SlotStream for Gather {
+    fn next_slot(&mut self) -> Option<Slot> {
+        loop {
+            if self.i >= self.end {
+                return None;
+            }
+            match self.step {
+                // 1. sequential index load
+                0 => {
+                    self.step = 1;
+                    return Some(Slot::Load {
+                        addr: self.index.at(self.i),
+                        pc: self.pc,
+                        dep: false,
+                    });
+                }
+                // 2. dependent gather into the data array
+                1 => {
+                    self.step = 2;
+                    let idx = self.data_index();
+                    return Some(Slot::Load {
+                        addr: self.data.at(idx),
+                        pc: self.pc + 1,
+                        dep: true,
+                    });
+                }
+                // 3. compute on the gathered value
+                2 => {
+                    self.step = 3;
+                    if self.compute_per_gather > 0 {
+                        return Some(Slot::Compute(self.compute_per_gather));
+                    }
+                }
+                // 4. occasional store (apply phase), then advance
+                _ => {
+                    self.step = 0;
+                    self.gather_no += 1;
+                    let i = self.i;
+                    self.i += 1;
+                    if self.store_every != 0 && self.gather_no.is_multiple_of(self.store_every) {
+                        let idx = i % self.data.count();
+                        return Some(Slot::Store { addr: self.data.at(idx), pc: self.pc + 2 });
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::Region;
+    use crate::slot::collect_slots;
+
+    fn arrays() -> (ArrayRef, ArrayRef) {
+        let mut r = Region::new(0, 1 << 22);
+        (r.array(1 << 12, 8), r.array(1 << 14, 8))
+    }
+
+    #[test]
+    fn gather_alternates_index_and_data_loads() {
+        let (index, data) = arrays();
+        let slots =
+            collect_slots(&mut Gather::new(index, data, 0, 8, 2, 0, 1000, 0, 1, 0), 1000);
+        // Per element: index load, data load, compute.
+        assert_eq!(slots.len(), 24);
+        assert!(matches!(slots[0], Slot::Load { dep: false, .. }));
+        assert!(matches!(slots[1], Slot::Load { dep: true, .. }));
+        assert_eq!(slots[2], Slot::Compute(2));
+        assert_eq!(slots[0].addr(), Some(index.at(0)));
+        assert_eq!(slots[3].addr(), Some(index.at(1)));
+    }
+
+    #[test]
+    fn gather_data_loads_stay_in_data_array() {
+        let (index, data) = arrays();
+        let slots =
+            collect_slots(&mut Gather::new(index, data, 0, 64, 0, 0, 1000, 0, 2, 0), 1000);
+        for s in slots.iter().skip(1).step_by(2) {
+            let addr = s.addr().unwrap();
+            assert!(addr >= data.base() && addr < data.base() + data.bytes());
+        }
+    }
+
+    #[test]
+    fn hot_skew_concentrates_accesses() {
+        let (index, data) = arrays();
+        // 90% of gathers hit the first 1% of data.
+        let slots = collect_slots(
+            &mut Gather::new(index, data, 0, 512, 0, 90, 10, 0, 3, 0),
+            4096,
+        );
+        let hot_limit = data.base() + data.bytes() / 100 + 64;
+        let hot = slots
+            .iter()
+            .filter(|s| matches!(s, Slot::Load { dep: true, .. }))
+            .filter(|s| s.addr().unwrap() < hot_limit)
+            .count();
+        assert!(hot > 400, "expected most gathers in hot region, got {hot}/512");
+    }
+
+    #[test]
+    fn store_every_emits_apply_stores() {
+        let (index, data) = arrays();
+        let slots =
+            collect_slots(&mut Gather::new(index, data, 0, 10, 0, 0, 1000, 2, 4, 0), 1000);
+        let stores = slots.iter().filter(|s| matches!(s, Slot::Store { .. })).count();
+        assert_eq!(stores, 5);
+    }
+
+    #[test]
+    fn slice_bounds_respected() {
+        let (index, data) = arrays();
+        let slots =
+            collect_slots(&mut Gather::new(index, data, 5, 9, 0, 0, 1000, 0, 5, 0), 1000);
+        assert_eq!(slots[0].addr(), Some(index.at(5)));
+        let index_loads =
+            slots.iter().filter(|s| matches!(s, Slot::Load { dep: false, .. })).count();
+        assert_eq!(index_loads, 4);
+    }
+}

@@ -1,0 +1,27 @@
+//! Synthetic access-pattern generators.
+//!
+//! These are the building blocks of the workload models: each generator is
+//! a small state machine emitting [`crate::Slot`]s with a characteristic
+//! address pattern, regularity, dependence structure, and compute/memory
+//! ratio. The combinators in [`combine`] compose them into full
+//! applications (phases, mixes, serial fractions, barrier loops).
+
+pub mod chase;
+pub mod combine;
+pub mod gather;
+pub mod gemm;
+pub mod rand_access;
+pub mod seq;
+pub mod stencil;
+pub mod throttle;
+pub mod triad;
+
+pub use chase::PointerChase;
+pub use combine::{BarrierLoop, Chain, ComputeStream, Interleave, SerialParallel};
+pub use gather::Gather;
+pub use gemm::BlockedGemm;
+pub use rand_access::{ConflictStream, RandomAccess};
+pub use seq::{Seq, Strided};
+pub use stencil::Stencil;
+pub use throttle::Throttle;
+pub use triad::Triad;

@@ -1,0 +1,211 @@
+//! Random and cache-conflicting access patterns.
+
+use crate::layout::{ArrayRef, LINE};
+use crate::rng::Lcg;
+use crate::slot::{Slot, SlotStream};
+
+/// Independent uniformly random accesses over an array.
+///
+/// Addresses are *data-independent* (the core can keep several misses in
+/// flight), but the pattern defeats every prefetcher. With a footprint
+/// larger than the LLC this is a pure bandwidth/latency stressor — e.g.
+/// mcf-like behaviour with `dep = false`, or a scatter phase.
+pub struct RandomAccess {
+    array: ArrayRef,
+    rng: Lcg,
+    remaining: u64,
+    compute_per_access: u32,
+    store_ratio_pct: u8,
+    dep: bool,
+    pc: u32,
+    pending_access: bool,
+}
+
+impl RandomAccess {
+    /// `accesses` uniform accesses over `array` (see struct docs).
+    pub fn new(
+        array: ArrayRef,
+        accesses: u64,
+        compute_per_access: u32,
+        store_ratio_pct: u8,
+        dep: bool,
+        seed: u64,
+        pc: u32,
+    ) -> Self {
+        assert!(store_ratio_pct <= 100);
+        RandomAccess {
+            array,
+            rng: Lcg::new(seed),
+            remaining: accesses,
+            compute_per_access,
+            store_ratio_pct,
+            dep,
+            pc,
+            pending_access: true,
+        }
+    }
+}
+
+impl SlotStream for RandomAccess {
+    fn next_slot(&mut self) -> Option<Slot> {
+        if self.remaining == 0 {
+            return None;
+        }
+        if !self.pending_access && self.compute_per_access > 0 {
+            self.pending_access = true;
+            return Some(Slot::Compute(self.compute_per_access));
+        }
+        self.remaining -= 1;
+        self.pending_access = false;
+        let idx = self.rng.next_below(self.array.count());
+        let addr = self.array.at(idx);
+        let is_store = u64::from(self.store_ratio_pct) > self.rng.next_below(100);
+        Some(if is_store {
+            Slot::Store { addr, pc: self.pc }
+        } else {
+            Slot::Load { addr, pc: self.pc, dep: self.dep }
+        })
+    }
+}
+
+/// The *Bandit* pattern (Xu et al., IPDPS'17): every access misses in every
+/// cache because consecutive accesses conflict in the same cache set.
+///
+/// Addresses jump by `conflict_stride` bytes (the caller passes the way-span
+/// of the largest cache so that lines map to a handful of sets), so the
+/// stream has no spatial locality, no reuse, and no detectable stride at
+/// line granularity — yet each request is independent, so bandwidth stays
+/// high. The paper measures ~18 GB/s for 4-thread Bandit.
+pub struct ConflictStream {
+    array: ArrayRef,
+    rng: Lcg,
+    conflict_stride: u64,
+    set_groups: u64,
+    cursor: u64,
+    remaining: u64,
+    pc: u32,
+}
+
+impl ConflictStream {
+    /// `conflict_stride` is the byte distance between consecutive accesses
+    /// (typically `sets * LINE` of the target cache); `set_groups` is how
+    /// many distinct conflicting lanes to rotate through.
+    pub fn new(
+        array: ArrayRef,
+        accesses: u64,
+        conflict_stride: u64,
+        set_groups: u64,
+        seed: u64,
+        pc: u32,
+    ) -> Self {
+        assert!(conflict_stride >= LINE);
+        assert!(set_groups > 0);
+        ConflictStream {
+            array,
+            rng: Lcg::new(seed),
+            conflict_stride,
+            set_groups,
+            cursor: 0,
+            remaining: accesses,
+            pc,
+        }
+    }
+}
+
+impl SlotStream for ConflictStream {
+    fn next_slot(&mut self) -> Option<Slot> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        // Walk lanes: same set group, advancing by the conflict stride, with
+        // a random lane selection to defeat stream detection.
+        let lane = self.rng.next_below(self.set_groups);
+        let bytes = self.array.count() * self.array.elem_size();
+        let steps = bytes / self.conflict_stride;
+        let step = if steps == 0 { 0 } else { self.cursor % steps };
+        self.cursor += 1;
+        let off = (step * self.conflict_stride + lane * LINE) % bytes;
+        let addr = self.array.base() + (off & !(LINE - 1));
+        Some(Slot::Load { addr, pc: self.pc, dep: false })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::Region;
+    use crate::slot::collect_slots;
+
+    fn arr(bytes: u64) -> ArrayRef {
+        Region::new(0, bytes + 64).array(bytes / 8, 8)
+    }
+
+    #[test]
+    fn random_access_stays_in_bounds() {
+        let a = arr(1 << 16);
+        let slots = collect_slots(&mut RandomAccess::new(a, 500, 0, 0, false, 1, 0), 1000);
+        assert_eq!(slots.len(), 500);
+        for s in &slots {
+            let addr = s.addr().unwrap();
+            assert!(addr >= a.base() && addr < a.base() + a.bytes());
+        }
+    }
+
+    #[test]
+    fn random_access_store_ratio_roughly_holds() {
+        let a = arr(1 << 16);
+        let slots =
+            collect_slots(&mut RandomAccess::new(a, 2000, 0, 25, false, 2, 0), 5000);
+        let stores = slots.iter().filter(|s| matches!(s, Slot::Store { .. })).count();
+        let frac = stores as f64 / 2000.0;
+        assert!((0.18..0.32).contains(&frac), "store fraction {frac}");
+    }
+
+    #[test]
+    fn random_access_dep_flag_propagates() {
+        let a = arr(1 << 12);
+        let slots = collect_slots(&mut RandomAccess::new(a, 10, 0, 0, true, 3, 0), 100);
+        for s in slots {
+            assert!(matches!(s, Slot::Load { dep: true, .. }));
+        }
+    }
+
+    #[test]
+    fn random_access_is_deterministic() {
+        let a = arr(1 << 14);
+        let s1 = collect_slots(&mut RandomAccess::new(a, 100, 1, 10, false, 7, 0), 1000);
+        let s2 = collect_slots(&mut RandomAccess::new(a, 100, 1, 10, false, 7, 0), 1000);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn conflict_stream_addresses_are_line_aligned_and_spread() {
+        let a = arr(1 << 20);
+        let slots = collect_slots(&mut ConflictStream::new(a, 200, 1 << 15, 4, 5, 0), 1000);
+        let mut distinct = std::collections::HashSet::new();
+        for s in &slots {
+            let addr = s.addr().unwrap();
+            assert_eq!(addr % LINE, 0);
+            assert!(addr >= a.base() && addr < a.base() + a.bytes());
+            distinct.insert(addr);
+        }
+        // The pattern must cycle over many distinct lines (no reuse window).
+        assert!(distinct.len() > 50, "only {} distinct lines", distinct.len());
+    }
+
+    #[test]
+    fn conflict_stream_hits_few_set_groups() {
+        // All addresses must fall in at most `set_groups` distinct line
+        // offsets modulo the conflict stride — that is what makes them
+        // conflict in a set-associative cache.
+        let a = arr(1 << 20);
+        let stride = 1 << 14;
+        let slots = collect_slots(&mut ConflictStream::new(a, 500, stride, 4, 6, 0), 1000);
+        let mut groups = std::collections::HashSet::new();
+        for s in &slots {
+            groups.insert((s.addr().unwrap() - a.base()) % stride);
+        }
+        assert!(groups.len() <= 4, "expected <=4 set groups, got {}", groups.len());
+    }
+}

@@ -1,0 +1,182 @@
+//! Sequential and strided streaming patterns.
+
+use crate::layout::ArrayRef;
+use crate::slot::{Slot, SlotStream};
+
+/// Sequential sweep over an array: the canonical prefetch-friendly,
+/// bandwidth-hungry pattern (STREAM-like reads, fotonik3d-like sweeps).
+///
+/// Emits `Compute(compute_per_access)` between accesses when nonzero, and
+/// turns every `store_every`-th access into a store (0 = loads only).
+pub struct Seq {
+    array: ArrayRef,
+    idx: u64,
+    end: u64,
+    compute_per_access: u32,
+    store_every: u64,
+    access_no: u64,
+    pc: u32,
+    pending_access: bool,
+}
+
+impl Seq {
+    /// Sweeps elements `start..end` of `array`.
+    pub fn slice(
+        array: ArrayRef,
+        start: u64,
+        end: u64,
+        compute_per_access: u32,
+        store_every: u64,
+        pc: u32,
+    ) -> Self {
+        assert!(start <= end && end <= array.count());
+        Seq {
+            array,
+            idx: start,
+            end,
+            compute_per_access,
+            store_every,
+            access_no: 0,
+            pc,
+            pending_access: true,
+        }
+    }
+
+    /// Sweeps the whole array.
+    pub fn full(array: ArrayRef, compute_per_access: u32, store_every: u64, pc: u32) -> Self {
+        Self::slice(array, 0, array.count(), compute_per_access, store_every, pc)
+    }
+}
+
+impl SlotStream for Seq {
+    fn next_slot(&mut self) -> Option<Slot> {
+        if self.idx >= self.end {
+            return None;
+        }
+        if !self.pending_access && self.compute_per_access > 0 {
+            self.pending_access = true;
+            return Some(Slot::Compute(self.compute_per_access));
+        }
+        let addr = self.array.at(self.idx);
+        self.idx += 1;
+        self.access_no += 1;
+        self.pending_access = false;
+        let is_store = self.store_every != 0 && self.access_no.is_multiple_of(self.store_every);
+        Some(if is_store {
+            Slot::Store { addr, pc: self.pc }
+        } else {
+            Slot::Load { addr, pc: self.pc, dep: false }
+        })
+    }
+}
+
+/// Strided sweep: touches every `stride`-th element. With a stride of one
+/// line or more per access this defeats spatial locality while remaining
+/// detectable by stride/IP prefetchers.
+pub struct Strided {
+    array: ArrayRef,
+    idx: u64,
+    stride: u64,
+    remaining: u64,
+    compute_per_access: u32,
+    pc: u32,
+    pending_access: bool,
+}
+
+impl Strided {
+    /// `accesses` loads advancing by `stride` elements (wrapping).
+    pub fn new(array: ArrayRef, stride: u64, accesses: u64, compute_per_access: u32, pc: u32) -> Self {
+        assert!(stride > 0);
+        Strided {
+            array,
+            idx: 0,
+            stride,
+            remaining: accesses,
+            compute_per_access,
+            pc,
+            pending_access: true,
+        }
+    }
+}
+
+impl SlotStream for Strided {
+    fn next_slot(&mut self) -> Option<Slot> {
+        if self.remaining == 0 {
+            return None;
+        }
+        if !self.pending_access && self.compute_per_access > 0 {
+            self.pending_access = true;
+            return Some(Slot::Compute(self.compute_per_access));
+        }
+        let addr = self.array.at(self.idx % self.array.count());
+        self.idx += self.stride;
+        self.remaining -= 1;
+        self.pending_access = false;
+        Some(Slot::Load { addr, pc: self.pc, dep: false })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::Region;
+    use crate::slot::collect_slots;
+
+    fn arr(count: u64, elem: u64) -> ArrayRef {
+        Region::new(0, count * elem + 64).array(count, elem)
+    }
+
+    #[test]
+    fn seq_visits_all_elements_in_order() {
+        let a = arr(16, 8);
+        let slots = collect_slots(&mut Seq::full(a, 0, 0, 1), 100);
+        assert_eq!(slots.len(), 16);
+        for (i, s) in slots.iter().enumerate() {
+            assert_eq!(s.addr(), Some(a.at(i as u64)));
+        }
+    }
+
+    #[test]
+    fn seq_interleaves_compute() {
+        let a = arr(4, 8);
+        let slots = collect_slots(&mut Seq::full(a, 3, 0, 1), 100);
+        // load, compute, load, compute, load, compute, load
+        assert_eq!(slots.len(), 7);
+        assert!(matches!(slots[0], Slot::Load { .. }));
+        assert_eq!(slots[1], Slot::Compute(3));
+    }
+
+    #[test]
+    fn seq_store_every_marks_stores() {
+        let a = arr(6, 8);
+        let slots = collect_slots(&mut Seq::full(a, 0, 3, 1), 100);
+        let stores = slots.iter().filter(|s| matches!(s, Slot::Store { .. })).count();
+        assert_eq!(stores, 2);
+    }
+
+    #[test]
+    fn seq_slice_respects_bounds() {
+        let a = arr(16, 8);
+        let slots = collect_slots(&mut Seq::slice(a, 4, 8, 0, 0, 1), 100);
+        assert_eq!(slots.len(), 4);
+        assert_eq!(slots[0].addr(), Some(a.at(4)));
+        assert_eq!(slots[3].addr(), Some(a.at(7)));
+    }
+
+    #[test]
+    fn strided_advances_by_stride() {
+        let a = arr(64, 8);
+        let slots = collect_slots(&mut Strided::new(a, 8, 4, 0, 1), 100);
+        assert_eq!(slots.len(), 4);
+        assert_eq!(slots[0].addr(), Some(a.at(0)));
+        assert_eq!(slots[1].addr(), Some(a.at(8)));
+        assert_eq!(slots[2].addr(), Some(a.at(16)));
+    }
+
+    #[test]
+    fn strided_wraps_around() {
+        let a = arr(8, 8);
+        let slots = collect_slots(&mut Strided::new(a, 5, 4, 0, 1), 100);
+        assert_eq!(slots[2].addr(), Some(a.at(2))); // 10 % 8
+    }
+}

@@ -1,0 +1,134 @@
+//! Multi-stream stencil sweeps: the HPC signature pattern.
+
+use crate::layout::ArrayRef;
+use crate::slot::{Slot, SlotStream};
+
+/// A 1-D sweep reading `points` neighbouring planes per output element and
+/// writing one, modelling nested-loop HPC kernels (IRSmk's 27-point
+/// matrix-multiply loops, fotonik3d's FDTD sweeps, lulesh's hydro loops).
+///
+/// Each "plane" is a separate sequential stream offset by `plane_stride`
+/// elements, so the pattern exercises the stream prefetcher with several
+/// concurrent streams — regular, prefetch-sensitive, high bandwidth.
+pub struct Stencil {
+    src: ArrayRef,
+    dst: ArrayRef,
+    i: u64,
+    end: u64,
+    points: u32,
+    plane_stride: u64,
+    compute_per_point: u32,
+    pc: u32,
+    step: u32,
+}
+
+impl Stencil {
+    /// Sweeps output elements `start..end`. Reads `points` planes from
+    /// `src` at offsets `i + k * plane_stride` (wrapped), then computes and
+    /// stores `dst[i]`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        src: ArrayRef,
+        dst: ArrayRef,
+        start: u64,
+        end: u64,
+        points: u32,
+        plane_stride: u64,
+        compute_per_point: u32,
+        pc: u32,
+    ) -> Self {
+        assert!(points > 0);
+        assert!(start <= end && end <= dst.count());
+        Stencil { src, dst, i: start, end, points, plane_stride, compute_per_point, pc, step: 0 }
+    }
+}
+
+impl SlotStream for Stencil {
+    fn next_slot(&mut self) -> Option<Slot> {
+        if self.i >= self.end {
+            return None;
+        }
+        let slot = if self.step < self.points {
+            // Plane reads: each plane is its own sequential stream with its
+            // own pc, so the IP/stream prefetchers can track all of them.
+            let k = u64::from(self.step);
+            let idx = (self.i + k * self.plane_stride) % self.src.count();
+            Slot::Load { addr: self.src.at(idx), pc: self.pc + self.step, dep: false }
+        } else if self.step == self.points && self.compute_per_point > 0 {
+            Slot::Compute(self.compute_per_point * self.points)
+        } else {
+            Slot::Store { addr: self.dst.at(self.i), pc: self.pc + self.points + 1 }
+        };
+        // Advance the step machine.
+        if self.step < self.points {
+            self.step += 1;
+            if self.step == self.points && self.compute_per_point == 0 {
+                self.step += 1; // skip the compute state
+            }
+        } else if self.step == self.points {
+            self.step += 1;
+        } else {
+            self.step = 0;
+            self.i += 1;
+        }
+        Some(slot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::Region;
+    use crate::slot::{collect_slots, stream_census};
+
+    fn arrays(n: u64) -> (ArrayRef, ArrayRef) {
+        let mut r = Region::new(0, 2 * n * 8 + 256);
+        (r.array(n, 8), r.array(n, 8))
+    }
+
+    #[test]
+    fn stencil_reads_points_then_stores() {
+        let (src, dst) = arrays(64);
+        let slots = collect_slots(&mut Stencil::new(src, dst, 0, 2, 3, 16, 2, 0), 100);
+        // Per element: 3 loads, 1 compute, 1 store.
+        assert_eq!(slots.len(), 10);
+        assert!(matches!(slots[0], Slot::Load { .. }));
+        assert!(matches!(slots[1], Slot::Load { .. }));
+        assert!(matches!(slots[2], Slot::Load { .. }));
+        assert_eq!(slots[3], Slot::Compute(6));
+        assert!(matches!(slots[4], Slot::Store { .. }));
+    }
+
+    #[test]
+    fn stencil_planes_are_offset_streams() {
+        let (src, dst) = arrays(256);
+        let slots = collect_slots(&mut Stencil::new(src, dst, 0, 4, 2, 32, 0, 0), 100);
+        assert_eq!(slots[0].addr(), Some(src.at(0)));
+        assert_eq!(slots[1].addr(), Some(src.at(32)));
+        // Next element: both planes advance by one.
+        assert_eq!(slots[3].addr(), Some(src.at(1)));
+        assert_eq!(slots[4].addr(), Some(src.at(33)));
+    }
+
+    #[test]
+    fn stencil_zero_compute_skips_compute_slots() {
+        let (src, dst) = arrays(64);
+        let mut s = Stencil::new(src, dst, 0, 8, 3, 8, 0, 0);
+        let (_, mem, loads, stores) = stream_census(&mut s, 1000);
+        assert_eq!(loads, 24);
+        assert_eq!(stores, 8);
+        assert_eq!(mem, 32);
+    }
+
+    #[test]
+    fn stencil_stores_cover_output_range() {
+        let (src, dst) = arrays(64);
+        let slots = collect_slots(&mut Stencil::new(src, dst, 10, 14, 1, 4, 0, 0), 100);
+        let stores: Vec<u64> = slots
+            .iter()
+            .filter(|s| matches!(s, Slot::Store { .. }))
+            .map(|s| s.addr().unwrap())
+            .collect();
+        assert_eq!(stores, vec![dst.at(10), dst.at(11), dst.at(12), dst.at(13)]);
+    }
+}

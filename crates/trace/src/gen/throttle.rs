@@ -1,0 +1,121 @@
+//! Memory-rate throttling: the compilation-side mitigation.
+//!
+//! Tang et al. ("Compiling for niceness", CGO'12) and ReQoS (ASPLOS'13)
+//! statically or reactively pad an application's contentious code regions
+//! to reduce its memory issue rate and protect QoS-sensitive co-runners.
+//! [`Throttle`] is that transformation applied to a slot stream: after
+//! every memory access from a *marked* access site, insert `pad` compute
+//! cycles.
+
+use std::collections::HashSet;
+
+use crate::slot::{Slot, SlotStream};
+
+/// Wraps a stream, padding marked memory accesses with compute cycles.
+pub struct Throttle {
+    inner: Box<dyn SlotStream>,
+    /// Compute cycles inserted after each marked access.
+    pad: u32,
+    /// Access sites (pcs) to throttle; `None` throttles every access.
+    sites: Option<HashSet<u32>>,
+    pending_pad: bool,
+}
+
+impl Throttle {
+    /// Throttles every memory access by `pad` cycles.
+    pub fn all(inner: Box<dyn SlotStream>, pad: u32) -> Self {
+        Throttle { inner, pad, sites: None, pending_pad: false }
+    }
+
+    /// Throttles only the given access sites — the ReQoS model, where a
+    /// profile identifies the contentious region (e.g. a graph `gather`)
+    /// and only it is marked.
+    pub fn sites(inner: Box<dyn SlotStream>, pad: u32, sites: HashSet<u32>) -> Self {
+        Throttle { inner, pad, sites: Some(sites), pending_pad: false }
+    }
+
+    fn marked(&self, pc: u32) -> bool {
+        match &self.sites {
+            None => true,
+            Some(s) => s.contains(&pc),
+        }
+    }
+}
+
+impl SlotStream for Throttle {
+    fn next_slot(&mut self) -> Option<Slot> {
+        if self.pending_pad {
+            self.pending_pad = false;
+            return Some(Slot::Compute(self.pad));
+        }
+        let slot = self.inner.next_slot()?;
+        if self.pad > 0 {
+            match slot {
+                Slot::Load { pc, .. } | Slot::Store { pc, .. } if self.marked(pc) => {
+                    self.pending_pad = true;
+                }
+                _ => {}
+            }
+        }
+        Some(slot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::Region;
+    use crate::slot::{collect_slots, stream_census, VecStream};
+
+    fn sample() -> Vec<Slot> {
+        vec![
+            Slot::Load { addr: 0, pc: 1, dep: false },
+            Slot::Compute(5),
+            Slot::Load { addr: 64, pc: 2, dep: true },
+            Slot::Store { addr: 128, pc: 1 },
+        ]
+    }
+
+    #[test]
+    fn throttle_all_pads_every_access() {
+        let mut t = Throttle::all(Box::new(VecStream::new(sample())), 10);
+        let slots = collect_slots(&mut t, 100);
+        assert_eq!(
+            slots,
+            vec![
+                Slot::Load { addr: 0, pc: 1, dep: false },
+                Slot::Compute(10),
+                Slot::Compute(5),
+                Slot::Load { addr: 64, pc: 2, dep: true },
+                Slot::Compute(10),
+                Slot::Store { addr: 128, pc: 1 },
+                Slot::Compute(10),
+            ]
+        );
+    }
+
+    #[test]
+    fn throttle_sites_pads_only_marked_pcs() {
+        let sites: HashSet<u32> = [2].into_iter().collect();
+        let mut t = Throttle::sites(Box::new(VecStream::new(sample())), 7, sites);
+        let slots = collect_slots(&mut t, 100);
+        let pads = slots.iter().filter(|s| **s == Slot::Compute(7)).count();
+        assert_eq!(pads, 1, "only the pc-2 load is padded: {slots:?}");
+    }
+
+    #[test]
+    fn zero_pad_is_identity() {
+        let mut t = Throttle::all(Box::new(VecStream::new(sample())), 0);
+        assert_eq!(collect_slots(&mut t, 100), sample());
+    }
+
+    #[test]
+    fn throttle_preserves_memory_access_count() {
+        let a = Region::new(0, 1 << 16).array(1024, 8);
+        let inner = Box::new(crate::gen::Seq::full(a, 1, 4, 3));
+        let mut t = Throttle::all(inner, 20);
+        let (_, mem, loads, stores) = stream_census(&mut t, 1 << 20);
+        assert_eq!(mem, 1024);
+        assert_eq!(loads + stores, 1024);
+    }
+}

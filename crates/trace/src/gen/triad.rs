@@ -1,0 +1,97 @@
+//! McCalpin STREAM triad: `a[i] = b[i] + s * c[i]`.
+
+use crate::layout::ArrayRef;
+use crate::slot::{Slot, SlotStream};
+
+/// The STREAM triad kernel over three equally sized arrays, repeated for
+/// `iterations` passes. Two sequential load streams plus one sequential
+/// store stream: maximally regular, maximally bandwidth-hungry — the
+/// paper's worst-case offender mini-benchmark.
+pub struct Triad {
+    a: ArrayRef,
+    b: ArrayRef,
+    c: ArrayRef,
+    i: u64,
+    n: u64,
+    iterations: u64,
+    /// 0 = load b, 1 = load c, 2 = compute, 3 = store a
+    step: u8,
+}
+
+impl Triad {
+    /// `a`, `b`, `c` must have the same element count.
+    pub fn new(a: ArrayRef, b: ArrayRef, c: ArrayRef, iterations: u64) -> Self {
+        assert_eq!(a.count(), b.count());
+        assert_eq!(a.count(), c.count());
+        assert!(iterations > 0);
+        let n = a.count();
+        Triad { a, b, c, i: 0, n, iterations, step: 0 }
+    }
+}
+
+impl SlotStream for Triad {
+    fn next_slot(&mut self) -> Option<Slot> {
+        if self.iterations == 0 {
+            return None;
+        }
+        let slot = match self.step {
+            0 => Slot::Load { addr: self.b.at(self.i), pc: 10, dep: false },
+            1 => Slot::Load { addr: self.c.at(self.i), pc: 11, dep: false },
+            2 => Slot::Compute(2), // multiply + add
+            _ => Slot::Store { addr: self.a.at(self.i), pc: 12 },
+        };
+        self.step += 1;
+        if self.step == 4 {
+            self.step = 0;
+            self.i += 1;
+            if self.i == self.n {
+                self.i = 0;
+                self.iterations -= 1;
+            }
+        }
+        Some(slot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::Region;
+    use crate::slot::{collect_slots, stream_census};
+
+    fn three_arrays(n: u64) -> (ArrayRef, ArrayRef, ArrayRef) {
+        let mut r = Region::new(0, 3 * n * 8 + 256);
+        (r.array(n, 8), r.array(n, 8), r.array(n, 8))
+    }
+
+    #[test]
+    fn triad_emits_two_loads_one_store_per_element() {
+        let (a, b, c) = three_arrays(8);
+        let mut t = Triad::new(a, b, c, 1);
+        let (instr, mem, loads, stores) = stream_census(&mut t, 1000);
+        assert_eq!(loads, 16);
+        assert_eq!(stores, 8);
+        assert_eq!(mem, 24);
+        assert_eq!(instr, 24 + 8 * 2);
+    }
+
+    #[test]
+    fn triad_addresses_are_sequential_per_stream() {
+        let (a, b, c) = three_arrays(4);
+        let slots = collect_slots(&mut Triad::new(a, b, c, 1), 1000);
+        // First element group: load b[0], load c[0], compute, store a[0].
+        assert_eq!(slots[0].addr(), Some(b.at(0)));
+        assert_eq!(slots[1].addr(), Some(c.at(0)));
+        assert_eq!(slots[3].addr(), Some(a.at(0)));
+        // Second group advances each stream by one element.
+        assert_eq!(slots[4].addr(), Some(b.at(1)));
+    }
+
+    #[test]
+    fn triad_iterations_multiply_work() {
+        let (a, b, c) = three_arrays(4);
+        let one = collect_slots(&mut Triad::new(a, b, c, 1), 10_000).len();
+        let three = collect_slots(&mut Triad::new(a, b, c, 3), 10_000).len();
+        assert_eq!(three, 3 * one);
+    }
+}

@@ -1,0 +1,202 @@
+//! Address-space layout helpers.
+//!
+//! Each workload instance owns a disjoint [`Region`] of the simulated
+//! 64-bit address space. Inside a region, workload models carve out
+//! [`ArrayRef`]s — typed, line-aligned arrays — and generate accesses by
+//! element index, exactly like the real applications index their own data
+//! structures. Disjoint regions guarantee co-runners never share data, while
+//! set-index bits still collide so cache contention is fully present.
+
+/// Size of a cache line in bytes. The whole suite assumes 64-byte lines,
+/// matching the paper's Sandy Bridge platform.
+pub const LINE: u64 = 64;
+
+/// A contiguous, owned chunk of simulated address space.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Region {
+    base: u64,
+    len: u64,
+    cursor: u64,
+}
+
+impl Region {
+    /// A region of `len` bytes starting at `base` (both rounded to lines).
+    pub fn new(base: u64, len: u64) -> Self {
+        let base = align_up(base, LINE);
+        Region { base, len: align_up(len, LINE), cursor: base }
+    }
+
+    /// Base address of the region.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Total size in bytes.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True if the region has zero length.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// One past the last byte of the region.
+    pub fn end(&self) -> u64 {
+        self.base + self.len
+    }
+
+    /// Bytes not yet carved into arrays.
+    pub fn remaining(&self) -> u64 {
+        self.end() - self.cursor
+    }
+
+    /// Carves a line-aligned array of `count` elements of `elem_size` bytes
+    /// from the front of the free space.
+    ///
+    /// # Panics
+    /// Panics if the region does not have enough free space — workload
+    /// footprints are a design-time property, so an overflow is a bug in
+    /// the workload model, not a runtime condition.
+    pub fn array(&mut self, count: u64, elem_size: u64) -> ArrayRef {
+        let bytes = align_up(count.saturating_mul(elem_size), LINE);
+        assert!(
+            bytes <= self.remaining(),
+            "region overflow: need {bytes} bytes, {} remaining",
+            self.remaining()
+        );
+        let base = self.cursor;
+        // Skip one guard line after each array. Besides catching
+        // off-by-one bugs, this breaks the exact power-of-two spacing
+        // that would otherwise alias equally-sized operand arrays into
+        // the same cache sets (a real pathology, but not one the modelled
+        // applications exhibit — allocators and page mappings decorrelate
+        // them on real machines).
+        self.cursor += bytes + LINE.min(self.remaining() - bytes);
+        ArrayRef { base, count, elem_size }
+    }
+
+    /// Splits off a sub-region of `len` bytes for a nested allocator.
+    pub fn subregion(&mut self, len: u64) -> Region {
+        let len = align_up(len, LINE);
+        assert!(
+            len <= self.remaining(),
+            "region overflow: need {len} bytes, {} remaining",
+            self.remaining()
+        );
+        let r = Region::new(self.cursor, len);
+        self.cursor += len;
+        r
+    }
+}
+
+/// A line-aligned array carved from a [`Region`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ArrayRef {
+    base: u64,
+    count: u64,
+    elem_size: u64,
+}
+
+impl ArrayRef {
+    /// Base address of the array.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Number of elements.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Element size in bytes.
+    pub fn elem_size(&self) -> u64 {
+        self.elem_size
+    }
+
+    /// Address of element `i`.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `i` is out of bounds.
+    #[inline]
+    pub fn at(&self, i: u64) -> u64 {
+        debug_assert!(i < self.count, "index {i} out of bounds ({})", self.count);
+        self.base + i * self.elem_size
+    }
+
+    /// Total byte footprint (line-aligned).
+    pub fn bytes(&self) -> u64 {
+        align_up(self.count * self.elem_size, LINE)
+    }
+}
+
+/// Rounds `x` up to a multiple of `to` (power of two).
+#[inline]
+pub fn align_up(x: u64, to: u64) -> u64 {
+    debug_assert!(to.is_power_of_two());
+    (x + to - 1) & !(to - 1)
+}
+
+/// Line-number of an address.
+#[inline]
+pub fn line_of(addr: u64) -> u64 {
+    addr / LINE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn align_up_basic() {
+        assert_eq!(align_up(0, 64), 0);
+        assert_eq!(align_up(1, 64), 64);
+        assert_eq!(align_up(64, 64), 64);
+        assert_eq!(align_up(65, 64), 128);
+    }
+
+    #[test]
+    fn region_carves_disjoint_arrays() {
+        let mut r = Region::new(1 << 30, 4096);
+        let a = r.array(8, 8);
+        let b = r.array(8, 8);
+        assert_eq!(a.base() % LINE, 0);
+        assert_eq!(b.base() % LINE, 0);
+        // Arrays must not overlap.
+        assert!(a.base() + a.bytes() <= b.base());
+        assert!(b.base() + b.bytes() <= r.end());
+    }
+
+    #[test]
+    fn array_indexing() {
+        let mut r = Region::new(0, 4096);
+        let a = r.array(100, 8);
+        assert_eq!(a.at(0), a.base());
+        assert_eq!(a.at(1), a.base() + 8);
+        assert_eq!(a.at(99), a.base() + 99 * 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "region overflow")]
+    fn region_overflow_panics() {
+        let mut r = Region::new(0, 128);
+        let _ = r.array(1000, 8);
+    }
+
+    #[test]
+    fn subregion_is_disjoint() {
+        let mut r = Region::new(4096, 8192);
+        let s1 = r.subregion(1024);
+        let s2 = r.subregion(1024);
+        assert_eq!(s1.len(), 1024);
+        assert!(s1.end() <= s2.base());
+        assert!(s2.end() <= r.end());
+    }
+
+    #[test]
+    fn unaligned_region_base_is_aligned() {
+        let r = Region::new(100, 100);
+        assert_eq!(r.base() % LINE, 0);
+        assert_eq!(r.len() % LINE, 0);
+    }
+}

@@ -1,0 +1,32 @@
+//! # cochar-trace
+//!
+//! Access-slot streams: the contract between workload models and the
+//! simulated machine.
+//!
+//! A workload thread is modelled as a sequence of [`Slot`]s — either a batch
+//! of single-cycle compute instructions or a single memory access. The
+//! machine simulator (`cochar-machine`) consumes one stream per simulated
+//! core and charges cache/memory latencies to it.
+//!
+//! This crate also provides the library of *synthetic pattern generators*
+//! (sequential, strided, random, pointer-chase, gather, stencil, blocked
+//! GEMM, STREAM triad, …) from which the 25 application models in
+//! `cochar-workloads` are composed, plus combinators (chains, mixes, phases,
+//! Amdahl serial fractions, barrier loops) that shape thread scalability.
+//!
+//! Everything here is deterministic: generators are seeded explicitly and
+//! use a local xorshift-based PRNG, so a given workload configuration always
+//! produces the same address trace.
+
+#![warn(missing_docs)]
+
+pub mod gen;
+pub mod layout;
+pub mod rng;
+pub mod slot;
+
+pub use layout::{ArrayRef, Region};
+pub use rng::Lcg;
+pub use slot::{
+    LoopingStream, Slot, SlotStream, StreamFactory, StreamParams, VecStream,
+};

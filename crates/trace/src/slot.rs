@@ -1,0 +1,292 @@
+//! The [`Slot`] event type and the [`SlotStream`] trait.
+
+use std::sync::Arc;
+
+/// One unit of simulated work on a core.
+///
+/// A slot is either a batch of `n` single-cycle compute instructions or a
+/// single memory access. Memory accesses carry a synthetic `pc` (a small
+/// integer identifying the *access site* in the workload model) which the
+/// IP-stride prefetcher uses the same way real hardware uses the program
+/// counter of the load instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Slot {
+    /// `n` back-to-back ALU/FP instructions, each retiring in one cycle.
+    Compute(u32),
+    /// A load from `addr`.
+    ///
+    /// `dep` marks the load as *data-dependent* on earlier outstanding
+    /// loads (e.g. pointer chasing, or indexing an array with a value that
+    /// was itself just loaded). The core model drains all outstanding
+    /// misses before issuing a dependent load, which removes memory-level
+    /// parallelism and makes the workload latency-bound — the key
+    /// behavioural difference between graph traversal and streaming.
+    Load {
+        /// Byte address accessed.
+        addr: u64,
+        /// Synthetic access-site id.
+        pc: u32,
+        /// Data-dependent on earlier outstanding loads.
+        dep: bool,
+    },
+    /// A store to `addr`. Stores retire through a write buffer and never
+    /// block the core, but they do generate cache fills and write-back
+    /// traffic.
+    Store {
+        /// Byte address written.
+        addr: u64,
+        /// Synthetic access-site id.
+        pc: u32,
+    },
+}
+
+impl Slot {
+    /// Number of retired instructions this slot represents.
+    #[inline]
+    pub fn instructions(&self) -> u64 {
+        match self {
+            Slot::Compute(n) => u64::from(*n),
+            Slot::Load { .. } | Slot::Store { .. } => 1,
+        }
+    }
+
+    /// The accessed address, if this is a memory slot.
+    #[inline]
+    pub fn addr(&self) -> Option<u64> {
+        match self {
+            Slot::Compute(_) => None,
+            Slot::Load { addr, .. } | Slot::Store { addr, .. } => Some(*addr),
+        }
+    }
+
+    /// True if this slot is a load or a store.
+    #[inline]
+    pub fn is_memory(&self) -> bool {
+        !matches!(self, Slot::Compute(_))
+    }
+}
+
+/// A lazily produced sequence of [`Slot`]s for one simulated thread.
+///
+/// Streams must be deterministic: two streams built from the same factory
+/// with the same [`StreamParams`] yield identical slot sequences.
+pub trait SlotStream: Send {
+    /// The next slot, or `None` when the thread's work is finished.
+    fn next_slot(&mut self) -> Option<Slot>;
+}
+
+/// Parameters identifying one thread of one workload instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StreamParams {
+    /// Thread index within the workload, `0..threads`.
+    pub thread: usize,
+    /// Total number of threads the workload runs with.
+    pub threads: usize,
+    /// Base of the address region this workload instance owns. Co-running
+    /// instances get disjoint regions so they never share data, but their
+    /// lines still compete for the same cache sets.
+    pub base: u64,
+    /// Seed for any randomized pattern. Trials vary the seed.
+    pub seed: u64,
+}
+
+impl StreamParams {
+    /// Convenience constructor for a solo single-threaded stream.
+    pub fn solo(base: u64, seed: u64) -> Self {
+        StreamParams { thread: 0, threads: 1, base, seed }
+    }
+}
+
+/// Builds the per-thread slot streams of a workload.
+///
+/// The factory is the *program*; each [`SlotStream`] it builds is one
+/// execution of one thread. Background applications are re-built and
+/// re-run in a loop until the foreground application finishes.
+pub trait StreamFactory: Send + Sync {
+    /// Builds one thread's slot stream.
+    fn build(&self, params: &StreamParams) -> Box<dyn SlotStream>;
+}
+
+impl<F> StreamFactory for F
+where
+    F: Fn(&StreamParams) -> Box<dyn SlotStream> + Send + Sync,
+{
+    fn build(&self, params: &StreamParams) -> Box<dyn SlotStream> {
+        self(params)
+    }
+}
+
+/// Wraps a factory so the produced stream restarts forever: the model of a
+/// *background* application that is re-launched until the foreground task
+/// completes (Sec. V of the paper).
+pub struct LoopingStream {
+    factory: Arc<dyn StreamFactory>,
+    params: StreamParams,
+    current: Box<dyn SlotStream>,
+    /// Completed executions of the inner stream (for bg progress metrics).
+    iterations: u64,
+}
+
+impl LoopingStream {
+    /// Builds the first inner stream and loops it on exhaustion.
+    pub fn new(factory: Arc<dyn StreamFactory>, params: StreamParams) -> Self {
+        let current = factory.build(&params);
+        LoopingStream { factory, params, current, iterations: 0 }
+    }
+
+    /// Number of times the inner stream has been restarted.
+    pub fn iterations(&self) -> u64 {
+        self.iterations
+    }
+}
+
+impl SlotStream for LoopingStream {
+    fn next_slot(&mut self) -> Option<Slot> {
+        loop {
+            if let Some(s) = self.current.next_slot() {
+                return Some(s);
+            }
+            self.iterations += 1;
+            // Vary the seed across restarts so randomized background
+            // patterns do not replay the exact same trace, mirroring a
+            // re-launched process.
+            let mut p = self.params;
+            p.seed = p.seed.wrapping_add(self.iterations);
+            self.current = self.factory.build(&p);
+        }
+    }
+}
+
+/// A stream backed by a pre-materialized vector of slots. Mostly useful in
+/// tests and for tiny workload phases.
+pub struct VecStream {
+    slots: Vec<Slot>,
+    pos: usize,
+}
+
+impl VecStream {
+    /// A stream yielding `slots` in order.
+    pub fn new(slots: Vec<Slot>) -> Self {
+        VecStream { slots, pos: 0 }
+    }
+}
+
+impl SlotStream for VecStream {
+    fn next_slot(&mut self) -> Option<Slot> {
+        let s = self.slots.get(self.pos).copied();
+        if s.is_some() {
+            self.pos += 1;
+        }
+        s
+    }
+}
+
+/// Drains a stream into a vector. Test/diagnostic helper; panics if the
+/// stream exceeds `cap` slots (guards against accidentally draining a
+/// looping stream).
+pub fn collect_slots(stream: &mut dyn SlotStream, cap: usize) -> Vec<Slot> {
+    let mut out = Vec::new();
+    while let Some(s) = stream.next_slot() {
+        out.push(s);
+        assert!(out.len() <= cap, "stream exceeded {cap} slots");
+    }
+    out
+}
+
+/// Summarizes a finite stream: (instructions, memory accesses, loads, stores).
+pub fn stream_census(stream: &mut dyn SlotStream, cap: usize) -> (u64, u64, u64, u64) {
+    let (mut instr, mut mem, mut loads, mut stores) = (0u64, 0u64, 0u64, 0u64);
+    let mut n = 0usize;
+    while let Some(s) = stream.next_slot() {
+        n += 1;
+        assert!(n <= cap, "stream exceeded {cap} slots");
+        instr += s.instructions();
+        match s {
+            Slot::Load { .. } => {
+                mem += 1;
+                loads += 1;
+            }
+            Slot::Store { .. } => {
+                mem += 1;
+                stores += 1;
+            }
+            Slot::Compute(_) => {}
+        }
+    }
+    (instr, mem, loads, stores)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_instruction_accounting() {
+        assert_eq!(Slot::Compute(17).instructions(), 17);
+        assert_eq!(Slot::Load { addr: 0, pc: 0, dep: false }.instructions(), 1);
+        assert_eq!(Slot::Store { addr: 0, pc: 0 }.instructions(), 1);
+    }
+
+    #[test]
+    fn slot_addr_and_kind() {
+        assert_eq!(Slot::Compute(1).addr(), None);
+        assert!(!Slot::Compute(1).is_memory());
+        let l = Slot::Load { addr: 64, pc: 3, dep: true };
+        assert_eq!(l.addr(), Some(64));
+        assert!(l.is_memory());
+    }
+
+    #[test]
+    fn vec_stream_yields_in_order_then_ends() {
+        let slots = vec![
+            Slot::Compute(2),
+            Slot::Load { addr: 128, pc: 0, dep: false },
+            Slot::Store { addr: 192, pc: 1 },
+        ];
+        let mut s = VecStream::new(slots.clone());
+        assert_eq!(s.next_slot(), Some(slots[0]));
+        assert_eq!(s.next_slot(), Some(slots[1]));
+        assert_eq!(s.next_slot(), Some(slots[2]));
+        assert_eq!(s.next_slot(), None);
+        assert_eq!(s.next_slot(), None);
+    }
+
+    #[test]
+    fn looping_stream_restarts() {
+        let factory: Arc<dyn StreamFactory> = Arc::new(|_p: &StreamParams| {
+            Box::new(VecStream::new(vec![Slot::Compute(1), Slot::Compute(2)]))
+                as Box<dyn SlotStream>
+        });
+        let mut s = LoopingStream::new(factory, StreamParams::solo(0, 0));
+        for _ in 0..10 {
+            assert_eq!(s.next_slot(), Some(Slot::Compute(1)));
+            assert_eq!(s.next_slot(), Some(Slot::Compute(2)));
+        }
+        assert_eq!(s.iterations(), 9);
+    }
+
+    #[test]
+    fn closure_factory_builds_streams() {
+        let f = |p: &StreamParams| {
+            Box::new(VecStream::new(vec![Slot::Compute(p.thread as u32 + 1)]))
+                as Box<dyn SlotStream>
+        };
+        let mut s = f.build(&StreamParams { thread: 4, threads: 8, base: 0, seed: 0 });
+        assert_eq!(s.next_slot(), Some(Slot::Compute(5)));
+    }
+
+    #[test]
+    fn census_counts_kinds() {
+        let mut s = VecStream::new(vec![
+            Slot::Compute(10),
+            Slot::Load { addr: 0, pc: 0, dep: false },
+            Slot::Load { addr: 64, pc: 0, dep: false },
+            Slot::Store { addr: 0, pc: 1 },
+        ]);
+        let (instr, mem, loads, stores) = stream_census(&mut s, 100);
+        assert_eq!(instr, 13);
+        assert_eq!(mem, 3);
+        assert_eq!(loads, 2);
+        assert_eq!(stores, 1);
+    }
+}

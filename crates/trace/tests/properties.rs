@@ -1,0 +1,163 @@
+//! Property-based tests for the trace substrate.
+
+use proptest::prelude::*;
+
+use cochar_trace::gen::{
+    BlockedGemm, Chain, ComputeStream, Gather, Interleave, PointerChase, RandomAccess, Seq,
+    SerialParallel, Triad,
+};
+use cochar_trace::slot::stream_census;
+use cochar_trace::{ArrayRef, Lcg, Region, Slot, SlotStream};
+
+fn arr(count: u64, elem: u64) -> ArrayRef {
+    Region::new(0, count * elem + 1024).array(count, elem)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lcg_next_below_always_in_bounds(seed in any::<u64>(), bound in 1u64..u64::MAX) {
+        let mut r = Lcg::new(seed);
+        for _ in 0..32 {
+            prop_assert!(r.next_below(bound) < bound);
+        }
+    }
+
+    #[test]
+    fn region_arrays_never_overlap(
+        sizes in prop::collection::vec((1u64..200, 1u64..64), 1..8)
+    ) {
+        let total: u64 = sizes.iter().map(|(c, e)| c * e + 128).sum();
+        let mut region = Region::new(1 << 20, total + 1024);
+        let mut spans: Vec<(u64, u64)> = Vec::new();
+        for (count, elem) in sizes {
+            let a = region.array(count, elem);
+            let span = (a.base(), a.base() + a.bytes());
+            for &(lo, hi) in &spans {
+                prop_assert!(span.1 <= lo || hi <= span.0, "overlap {span:?} vs {:?}", (lo, hi));
+            }
+            prop_assert_eq!(span.0 % 64, 0);
+            spans.push(span);
+        }
+    }
+
+    #[test]
+    fn seq_access_count_is_exact(n in 1u64..500, compute in 0u32..5, store_every in 0u64..4) {
+        let a = arr(n, 8);
+        let mut s = Seq::full(a, compute, store_every, 1);
+        let (_, mem, _, _) = stream_census(&mut s, 1 << 20);
+        prop_assert_eq!(mem, n);
+    }
+
+    #[test]
+    fn random_access_emits_requested_count(
+        n in 1u64..2000, seed in any::<u64>(), store_pct in 0u8..=100
+    ) {
+        let a = arr(256, 8);
+        let mut s = RandomAccess::new(a, n, 1, store_pct, false, seed, 0);
+        let (_, mem, _, _) = stream_census(&mut s, 1 << 20);
+        prop_assert_eq!(mem, n);
+    }
+
+    #[test]
+    fn chase_is_always_dependent(n in 1u64..500, seed in any::<u64>()) {
+        let a = arr(512, 8);
+        let mut s = PointerChase::new(a, n, 0, seed, 0);
+        while let Some(slot) = s.next_slot() {
+            if let Slot::Load { dep, addr, .. } = slot {
+                prop_assert!(dep);
+                prop_assert!(addr >= a.base() && addr < a.base() + a.bytes());
+            }
+        }
+    }
+
+    #[test]
+    fn triad_load_store_ratio_holds(n in 1u64..200, iters in 1u64..4) {
+        let mut region = Region::new(0, 3 * n * 8 + 1024);
+        let (a, b, c) = (region.array(n, 8), region.array(n, 8), region.array(n, 8));
+        let mut s = Triad::new(a, b, c, iters);
+        let (_, _, loads, stores) = stream_census(&mut s, 1 << 22);
+        prop_assert_eq!(loads, 2 * n * iters);
+        prop_assert_eq!(stores, n * iters);
+    }
+
+    #[test]
+    fn gather_addresses_stay_in_their_arrays(
+        n in 1u64..300, hot in 0u8..=100, seed in any::<u64>()
+    ) {
+        let mut region = Region::new(0, 1 << 20);
+        let index = region.array(512, 8);
+        let data = region.array(1024, 8);
+        let mut s = Gather::new(index, data, 0, n.min(512), 1, hot, 100, 3, seed, 0);
+        while let Some(slot) = s.next_slot() {
+            if let Slot::Load { addr, dep, .. } = slot {
+                if dep {
+                    prop_assert!(addr >= data.base() && addr < data.base() + data.bytes());
+                } else {
+                    prop_assert!(addr >= index.base() && addr < index.base() + index.bytes());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chain_preserves_total_instructions(parts in prop::collection::vec(1u64..300, 1..6)) {
+        let expected: u64 = parts.iter().sum();
+        let streams: Vec<Box<dyn SlotStream>> = parts
+            .iter()
+            .map(|&n| Box::new(ComputeStream::new(n, 7)) as Box<dyn SlotStream>)
+            .collect();
+        let mut chain = Chain::new(streams);
+        let (instr, _, _, _) = stream_census(&mut chain, 1 << 20);
+        prop_assert_eq!(instr, expected);
+    }
+
+    #[test]
+    fn interleave_preserves_total_instructions(
+        parts in prop::collection::vec((1u64..200, 1u32..5), 1..5)
+    ) {
+        let expected: u64 = parts.iter().map(|(n, _)| *n).sum();
+        let children: Vec<(Box<dyn SlotStream>, u32)> = parts
+            .iter()
+            .map(|&(n, w)| (Box::new(ComputeStream::new(n, 3)) as Box<dyn SlotStream>, w))
+            .collect();
+        let mut s = Interleave::new(children);
+        let (instr, _, _, _) = stream_census(&mut s, 1 << 20);
+        prop_assert_eq!(instr, expected);
+    }
+
+    #[test]
+    fn gemm_total_accesses_scale_with_parameters(
+        tile in 1u64..64, tiles in 1u64..8, reuse in 0u32..4
+    ) {
+        let a = arr(1024, 8);
+        let b = arr(1024, 8);
+        let mut s = BlockedGemm::new(a, b, tile, tiles, reuse, 1, 0, 0);
+        let (_, mem, _, _) = stream_census(&mut s, 1 << 22);
+        prop_assert_eq!(mem, 2 * tile * tiles * (u64::from(reuse) + 1));
+    }
+
+    #[test]
+    fn serial_parallel_shares_never_exceed_total(
+        total in 1u64..1_000_000, pml in 0u16..=1000, threads in 1usize..16
+    ) {
+        let (serial, parallel) = SerialParallel::shares(total, pml, threads);
+        prop_assert!(serial <= total);
+        prop_assert!(serial + parallel * threads as u64 <= total + threads as u64);
+    }
+
+    #[test]
+    fn streams_are_deterministic_for_equal_seeds(seed in any::<u64>()) {
+        let a = arr(256, 8);
+        let collect = |seed| {
+            let mut s = RandomAccess::new(a, 200, 1, 20, false, seed, 0);
+            let mut v = Vec::new();
+            while let Some(slot) = s.next_slot() {
+                v.push(slot);
+            }
+            v
+        };
+        prop_assert_eq!(collect(seed), collect(seed));
+    }
+}

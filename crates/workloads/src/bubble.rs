@@ -1,0 +1,96 @@
+//! The *bubble*: a tunable synthetic memory-pressure dial.
+//!
+//! Mars et al.'s Bubble-Up (MICRO'11, cited by the paper) characterizes an
+//! application once against a dial-a-pressure stressor and then predicts
+//! its degradation under any co-runner from the co-runner's pressure
+//! score. This module provides that stressor: a sequential streaming
+//! kernel whose bandwidth demand rises monotonically with `intensity`
+//! (0..=10), from near-idle to Stream-class.
+
+use std::sync::Arc;
+
+use cochar_trace::gen::Seq;
+use cochar_trace::{SlotStream, StreamParams};
+
+use crate::build::{slab_share, thread_region};
+use crate::scale::Scale;
+use crate::spec::{Domain, WorkloadSpec};
+
+/// Maximum bubble intensity.
+pub const MAX_INTENSITY: u32 = 10;
+
+/// Compute cycles inserted between accesses at each intensity: high
+/// compute = low pressure. Intensity 10 is a pure stream.
+fn compute_gap(intensity: u32) -> u32 {
+    assert!(intensity <= MAX_INTENSITY, "intensity 0..=10");
+    // 0 -> 120 cycles/access (trickle), 10 -> 0 (firehose).
+    (MAX_INTENSITY - intensity) * 12
+}
+
+/// Builds the bubble at the given intensity. The footprint streams
+/// through 2x the LLC so the pressure hits both shared resources.
+pub fn bubble_spec(scale: &Scale, intensity: u32) -> WorkloadSpec {
+    let arr_total = scale.llc_frac(2, 1);
+    let gap = compute_gap(intensity);
+    let sweeps = scale.scaled(3).max(1);
+    let name: &'static str = intensity_name(intensity);
+    WorkloadSpec {
+        name,
+        suite: "bubble",
+        domain: Domain::Mini,
+        description: "tunable streaming memory-pressure stressor (Bubble-Up style)",
+        factory: Arc::new(move |p: &StreamParams| {
+            let bytes = slab_share(arr_total, p.threads);
+            let mut r = thread_region(p, bytes + 128);
+            let a = r.array(bytes / 8, 8);
+            let parts: Vec<Box<dyn SlotStream>> = (0..sweeps)
+                .map(|_| Box::new(Seq::full(a, gap, 4, 90)) as Box<dyn SlotStream>)
+                .collect();
+            Box::new(cochar_trace::gen::Chain::new(parts)) as Box<dyn SlotStream>
+        }),
+    }
+}
+
+fn intensity_name(intensity: u32) -> &'static str {
+    const NAMES: [&str; 11] = [
+        "bubble-0", "bubble-1", "bubble-2", "bubble-3", "bubble-4", "bubble-5", "bubble-6",
+        "bubble-7", "bubble-8", "bubble-9", "bubble-10",
+    ];
+    NAMES[intensity as usize]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cochar_trace::slot::stream_census;
+
+    #[test]
+    fn intensity_controls_compute_density() {
+        let scale = Scale::tiny();
+        let p = StreamParams { thread: 0, threads: 4, base: 1 << 40, seed: 1 };
+        let density = |i: u32| {
+            let spec = bubble_spec(&scale, i);
+            let mut s = spec.factory.build(&p);
+            let (instr, mem, _, _) = stream_census(&mut *s, 100_000_000);
+            instr as f64 / mem as f64
+        };
+        let low = density(0);
+        let high = density(10);
+        assert!(low > 20.0, "intensity 0 should be compute-padded: {low}");
+        assert!(high < 2.0, "intensity 10 should be a pure stream: {high}");
+    }
+
+    #[test]
+    fn names_are_distinct_per_intensity() {
+        let scale = Scale::tiny();
+        let names: std::collections::HashSet<_> =
+            (0..=MAX_INTENSITY).map(|i| bubble_spec(&scale, i).name).collect();
+        assert_eq!(names.len(), 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "intensity")]
+    fn out_of_range_intensity_panics() {
+        let _ = bubble_spec(&Scale::tiny(), 11);
+    }
+}

@@ -1,0 +1,119 @@
+//! Shared helpers for workload model construction.
+
+use cochar_trace::gen::{Chain, ComputeStream};
+use cochar_trace::{Region, SlotStream, StreamParams};
+
+/// Byte stride between per-thread private regions inside one workload's
+/// address region (SPEC-rate-style independent copies). Co-running
+/// applications are separated by 2^40, so 8 threads x 2^32 stays well
+/// inside one application's region.
+pub const THREAD_REGION_STRIDE: u64 = 1 << 32;
+
+/// A region shared by all threads of the workload (graph data, shared
+/// arrays).
+pub fn shared_region(p: &StreamParams, bytes: u64) -> Region {
+    Region::new(p.base, bytes)
+}
+
+/// A per-thread private region (rate-mode SPEC copies, per-thread slabs).
+pub fn thread_region(p: &StreamParams, bytes: u64) -> Region {
+    assert!(bytes < THREAD_REGION_STRIDE, "per-thread footprint too large");
+    Region::new(p.base + p.thread as u64 * THREAD_REGION_STRIDE, bytes)
+}
+
+/// Per-thread seed derived from the run seed.
+pub fn thread_seed(p: &StreamParams) -> u64 {
+    p.seed ^ (p.thread as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Splits `total` work items evenly; returns thread `t`'s share (the
+/// remainder goes to the low-index threads).
+pub fn split_work(total: u64, thread: usize, threads: usize) -> u64 {
+    let base = total / threads as u64;
+    let rem = total % threads as u64;
+    base + u64::from((thread as u64) < rem)
+}
+
+/// Per-thread slab size when a fixed total footprint is divided among
+/// threads (grid decomposition): line-aligned, never below one page.
+pub fn slab_share(total_bytes: u64, threads: usize) -> u64 {
+    ((total_bytes / threads as u64).max(4096) / 64) * 64
+}
+
+/// Prepends a *serial section* to a thread's stream: `serial_cycles` of
+/// compute replicated identically on every thread, so the section's wall
+/// time does not shrink with the thread count — Amdahl's law in simulation
+/// form. This is how P-SSSP's lock-step relaxations, xalancbmk's parsing
+/// front-end, and AMG2006's setup phases get their sub-linear scaling.
+pub fn with_serial_prefix(
+    serial_cycles: u64,
+    inner: Box<dyn SlotStream>,
+) -> Box<dyn SlotStream> {
+    if serial_cycles == 0 {
+        return inner;
+    }
+    Box::new(Chain::new(vec![
+        Box::new(ComputeStream::new(serial_cycles, 4096)) as Box<dyn SlotStream>,
+        inner,
+    ]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cochar_trace::slot::stream_census;
+    use cochar_trace::{Slot, VecStream};
+
+    fn params(thread: usize) -> StreamParams {
+        StreamParams { thread, threads: 4, base: 1 << 40, seed: 9 }
+    }
+
+    #[test]
+    fn thread_regions_are_disjoint() {
+        let a = thread_region(&params(0), 1 << 20);
+        let b = thread_region(&params(1), 1 << 20);
+        assert!(a.end() <= b.base());
+    }
+
+    #[test]
+    fn shared_region_is_same_for_all_threads() {
+        let a = shared_region(&params(0), 4096);
+        let b = shared_region(&params(3), 4096);
+        assert_eq!(a.base(), b.base());
+    }
+
+    #[test]
+    fn thread_seeds_differ() {
+        let s0 = thread_seed(&params(0));
+        let s1 = thread_seed(&params(1));
+        assert_ne!(s0, s1);
+        assert_eq!(s0, thread_seed(&params(0)));
+    }
+
+    #[test]
+    fn split_work_sums_to_total() {
+        for total in [0u64, 1, 7, 100, 101, 103] {
+            let sum: u64 = (0..4).map(|t| split_work(total, t, 4)).sum();
+            assert_eq!(sum, total);
+        }
+        // Even split when divisible.
+        assert_eq!(split_work(100, 0, 4), 25);
+        assert_eq!(split_work(100, 3, 4), 25);
+    }
+
+    #[test]
+    fn serial_prefix_adds_replicated_compute() {
+        let inner = Box::new(VecStream::new(vec![Slot::Compute(5)]));
+        let mut s = with_serial_prefix(1000, inner);
+        let (instr, _, _, _) = stream_census(&mut *s, 100);
+        assert_eq!(instr, 1005);
+    }
+
+    #[test]
+    fn zero_serial_prefix_is_identity() {
+        let inner = Box::new(VecStream::new(vec![Slot::Compute(5)]));
+        let mut s = with_serial_prefix(0, inner);
+        assert_eq!(s.next_slot(), Some(Slot::Compute(5)));
+        assert_eq!(s.next_slot(), None);
+    }
+}

@@ -1,0 +1,196 @@
+//! Deep-learning training workload models (Microsoft CNTK).
+//!
+//! Only the training phase is modelled (as the paper measures). The four
+//! applications differ in working-set size, data reuse, and
+//! synchronization structure:
+//!
+//! * **ConvNet-CIFAR** — convolution layers streaming large activation and
+//!   weight tensors: low reuse, high bandwidth (~18 GB/s at 4 threads in
+//!   the paper, a frequent *offender*).
+//! * **ConvNet-MNIST** — small tensors, heavy reuse: compute-bound,
+//!   near-linear scaling.
+//! * **LSTM-AN4** — recurrent weight matrices about the size of the LLC,
+//!   moderate reuse, medium bandwidth.
+//! * **ATIS** — tiny batch NLP model dominated by OpenMP barrier spinning
+//!   (`kmp_hyper_barrier_release`, 80% of cycles above 2 threads):
+//!   effectively no scalability.
+
+use std::sync::Arc;
+
+use cochar_trace::gen::{BarrierLoop, BlockedGemm, Chain, ComputeStream, RandomAccess};
+use cochar_trace::{SlotStream, StreamFactory, StreamParams};
+
+use crate::build::{split_work, thread_region, thread_seed};
+use crate::scale::Scale;
+use crate::spec::{Domain, WorkloadSpec};
+
+/// GEMM-style model: per-thread operand slabs, tiled traversal.
+fn gemm_factory(
+    slab_bytes: u64,
+    tile_bytes: u64,
+    tiles_total: u64,
+    reuse: u32,
+    compute: u32,
+) -> Arc<dyn StreamFactory> {
+    Arc::new(move |p: &StreamParams| {
+        let mut r = thread_region(p, 2 * slab_bytes + 256);
+        let elems = slab_bytes / 8;
+        let a = r.array(elems, 8);
+        let b = r.array(elems, 8);
+        let tile = (tile_bytes / 8).clamp(1, elems);
+        let my_tiles = split_work(tiles_total, p.thread, p.threads);
+        if my_tiles == 0 {
+            return Box::new(cochar_trace::VecStream::new(vec![])) as Box<dyn SlotStream>;
+        }
+        let first = p.thread as u64 * 7919; // decorrelate tile phases
+        Box::new(BlockedGemm::new(a, b, tile, my_tiles, reuse, compute, first, 20))
+            as Box<dyn SlotStream>
+    })
+}
+
+/// ATIS: barrier-bound training loop. Per iteration each thread computes
+/// its shard and then spins `(T-1)/T` of the iteration's work in the
+/// barrier, so wall time is flat in the thread count.
+fn atis_factory(total_compute: u64, iters: u64, touch_bytes: u64) -> Arc<dyn StreamFactory> {
+    Arc::new(move |p: &StreamParams| {
+        let threads = p.threads as u64;
+        let per_iter = total_compute / iters;
+        let body = per_iter / threads;
+        let barrier = per_iter - body; // = per_iter * (T-1)/T
+        let seed = thread_seed(p);
+        let mut r = thread_region(p, touch_bytes + 128);
+        let arr = r.array(touch_bytes / 8, 8);
+        Box::new(BarrierLoop::new(
+            iters,
+            barrier,
+            Box::new(move |i| {
+                Box::new(Chain::new(vec![
+                    Box::new(ComputeStream::new(body, 4096)) as Box<dyn SlotStream>,
+                    // A sprinkle of embedding-table lookups per iteration.
+                    Box::new(RandomAccess::new(arr, 200, 4, 10, false, seed ^ i, 21)),
+                ])) as Box<dyn SlotStream>
+            }),
+        )) as Box<dyn SlotStream>
+    })
+}
+
+/// Builds the four CNTK workload specs.
+pub fn specs(scale: &Scale) -> Vec<WorkloadSpec> {
+    let llc = |n, d| scale.llc_frac(n, d);
+    vec![
+        WorkloadSpec {
+            name: "CIFAR",
+            suite: "CNTK",
+            domain: Domain::DeepLearning,
+            description: "ConvNet-CIFAR training: streaming conv layers, low reuse, high bandwidth",
+            factory: gemm_factory(
+                llc(1, 1),
+                llc(1, 16),
+                scale.scaled(64),
+                1,
+                3,
+            ),
+        },
+        WorkloadSpec {
+            name: "MNIST",
+            suite: "CNTK",
+            domain: Domain::DeepLearning,
+            description: "ConvNet-MNIST training: small tensors, heavy reuse, compute-bound",
+            factory: gemm_factory(
+                llc(1, 8),
+                llc(1, 32),
+                scale.scaled(24),
+                6,
+                6,
+            ),
+        },
+        WorkloadSpec {
+            name: "LSTM",
+            suite: "CNTK",
+            domain: Domain::DeepLearning,
+            description: "LSTM-AN4 training: LLC-sized recurrent weights, moderate reuse",
+            factory: gemm_factory(
+                llc(3, 8),
+                llc(1, 8),
+                scale.scaled(20),
+                2,
+                3,
+            ),
+        },
+        WorkloadSpec {
+            name: "ATIS",
+            suite: "CNTK",
+            domain: Domain::DeepLearning,
+            description: "ATIS NLP training: barrier-dominated, no thread scalability",
+            factory: atis_factory(scale.scaled(1_500_000), 16, llc(1, 32)),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cochar_trace::slot::stream_census;
+
+    fn p(thread: usize, threads: usize) -> StreamParams {
+        StreamParams { thread, threads, base: 1 << 40, seed: 5 }
+    }
+
+    #[test]
+    fn four_specs_with_paper_names() {
+        let s = specs(&Scale::tiny());
+        let names: Vec<_> = s.iter().map(|x| x.name).collect();
+        assert_eq!(names, vec!["CIFAR", "MNIST", "LSTM", "ATIS"]);
+    }
+
+    #[test]
+    fn all_streams_terminate() {
+        for spec in specs(&Scale::tiny()) {
+            let mut s = spec.factory.build(&p(0, 4));
+            let (instr, _, _, _) = stream_census(&mut *s, 50_000_000);
+            assert!(instr > 0, "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn atis_work_is_flat_in_thread_count() {
+        // Instructions per thread must stay ~constant as threads grow:
+        // the barrier eats what the parallel share saves.
+        let spec = specs(&Scale::tiny()).into_iter().find(|s| s.name == "ATIS").unwrap();
+        let instr = |threads| {
+            let mut s = spec.factory.build(&p(0, threads));
+            stream_census(&mut *s, 100_000_000).0
+        };
+        let i1 = instr(1) as f64;
+        let i8 = instr(8) as f64;
+        assert!(
+            (i8 / i1) > 0.85 && (i8 / i1) < 1.25,
+            "ATIS per-thread work should be flat: 1t={i1} 8t={i8}"
+        );
+    }
+
+    #[test]
+    fn mnist_is_more_compute_dense_than_cifar() {
+        let all = specs(&Scale::tiny());
+        let density = |name: &str| {
+            let spec = all.iter().find(|s| s.name == name).unwrap();
+            let mut s = spec.factory.build(&p(0, 4));
+            let (instr, mem, _, _) = stream_census(&mut *s, 50_000_000);
+            instr as f64 / mem as f64
+        };
+        assert!(density("MNIST") > density("CIFAR") * 1.5);
+    }
+
+    #[test]
+    fn cifar_work_splits_across_threads() {
+        let spec = specs(&Scale::tiny()).into_iter().find(|s| s.name == "CIFAR").unwrap();
+        let mem = |thread, threads| {
+            let mut s = spec.factory.build(&p(thread, threads));
+            stream_census(&mut *s, 50_000_000).1
+        };
+        let solo = mem(0, 1);
+        let four: u64 = (0..4).map(|t| mem(t, 4)).sum();
+        let drift = (solo as f64 - four as f64).abs() / solo as f64;
+        assert!(drift < 0.05, "total accesses must be thread-invariant: {solo} vs {four}");
+    }
+}

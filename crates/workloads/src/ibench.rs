@@ -1,0 +1,210 @@
+//! iBench-style component stressors (Delimitrou & Kozyrakis, IISWC'13 —
+//! paper ref [24]): hand-crafted micro-workloads that each pressure one
+//! hardware component, used to probe where an application is vulnerable.
+//!
+//! Not part of the 25-application registry; built on demand via
+//! [`specs`] or [`stressor`].
+
+use std::sync::Arc;
+
+use cochar_trace::gen::{Chain, ComputeStream, PointerChase, RandomAccess, Seq};
+use cochar_trace::{SlotStream, StreamFactory, StreamParams};
+
+use crate::build::{split_work, thread_region, thread_seed};
+use crate::scale::Scale;
+use crate::spec::{Domain, WorkloadSpec};
+
+/// The hardware component a stressor targets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Component {
+    /// Pure ALU pressure; no shared-resource footprint.
+    Cpu,
+    /// L1-resident working set (private; harmless to neighbours).
+    L1,
+    /// L2-resident working set (private; harmless to neighbours).
+    L2,
+    /// LLC-sized random working set: shared-cache capacity pressure with
+    /// modest bandwidth.
+    Llc,
+    /// Streaming far beyond the LLC: maximum bandwidth pressure.
+    MemBw,
+    /// Dependent chases far beyond the LLC: memory latency pressure with
+    /// bounded bandwidth.
+    MemLat,
+}
+
+impl Component {
+    /// All stressors, in probe order (innermost resource first).
+    pub const ALL: [Component; 6] = [
+        Component::Cpu,
+        Component::L1,
+        Component::L2,
+        Component::Llc,
+        Component::MemBw,
+        Component::MemLat,
+    ];
+
+    /// The stressor's registry-style name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Component::Cpu => "ibench-cpu",
+            Component::L1 => "ibench-l1",
+            Component::L2 => "ibench-l2",
+            Component::Llc => "ibench-llc",
+            Component::MemBw => "ibench-membw",
+            Component::MemLat => "ibench-memlat",
+        }
+    }
+}
+
+/// Builds the stressor for one component at the given scale.
+pub fn stressor(scale: &Scale, component: Component) -> WorkloadSpec {
+    let factory: Arc<dyn StreamFactory> = match component {
+        Component::Cpu => {
+            let total = scale.scaled(6_000_000);
+            Arc::new(move |p: &StreamParams| {
+                let my = split_work(total, p.thread, p.threads);
+                Box::new(ComputeStream::new(my, 4096)) as Box<dyn SlotStream>
+            })
+        }
+        Component::L1 => resident(scale.llc_frac(1, 512).max(512), scale.scaled(600_000)),
+        Component::L2 => resident(scale.llc_frac(1, 64).max(2048), scale.scaled(500_000)),
+        Component::Llc => {
+            // Random over ~the LLC: occupies shared capacity without
+            // saturating bandwidth.
+            let bytes = scale.llc_frac(7, 8);
+            let total = scale.scaled(300_000);
+            Arc::new(move |p: &StreamParams| {
+                let mut r = thread_region(p, bytes + 128);
+                let a = r.array(bytes / 8, 8);
+                let my = split_work(total, p.thread, p.threads);
+                Box::new(RandomAccess::new(a, my, 4, 10, false, thread_seed(p), 80))
+                    as Box<dyn SlotStream>
+            })
+        }
+        Component::MemBw => {
+            let bytes = scale.llc_frac(2, 1);
+            let sweeps = scale.scaled(4).max(1);
+            Arc::new(move |p: &StreamParams| {
+                let per = crate::build::slab_share(bytes, p.threads);
+                let mut r = thread_region(p, per + 128);
+                let a = r.array(per / 8, 8);
+                let parts: Vec<Box<dyn SlotStream>> = (0..sweeps)
+                    .map(|_| Box::new(Seq::full(a, 0, 4, 81)) as Box<dyn SlotStream>)
+                    .collect();
+                Box::new(Chain::new(parts)) as Box<dyn SlotStream>
+            })
+        }
+        Component::MemLat => {
+            let bytes = scale.llc_frac(4, 1);
+            let total = scale.scaled(60_000);
+            Arc::new(move |p: &StreamParams| {
+                let mut r = thread_region(p, bytes + 128);
+                let a = r.array(bytes / 8, 8);
+                let my = split_work(total, p.thread, p.threads);
+                Box::new(PointerChase::new(a, my, 2, thread_seed(p), 82))
+                    as Box<dyn SlotStream>
+            })
+        }
+    };
+    WorkloadSpec {
+        name: component.name(),
+        suite: "iBench",
+        domain: Domain::Mini,
+        description: "single-component stressor (iBench style)",
+        factory,
+    }
+}
+
+/// A working set of `bytes` swept with light compute (`total` accesses).
+fn resident(bytes: u64, total: u64) -> Arc<dyn StreamFactory> {
+    Arc::new(move |p: &StreamParams| {
+        let mut r = thread_region(p, bytes + 128);
+        let a = r.array(bytes / 8, 8);
+        let my = split_work(total, p.thread, p.threads);
+        let sweeps = (my / a.count()).max(1);
+        let parts: Vec<Box<dyn SlotStream>> = (0..sweeps)
+            .map(|_| Box::new(Seq::full(a, 2, 8, 83)) as Box<dyn SlotStream>)
+            .collect();
+        Box::new(Chain::new(parts)) as Box<dyn SlotStream>
+    })
+}
+
+/// All six stressors at the given scale.
+pub fn specs(scale: &Scale) -> Vec<WorkloadSpec> {
+    Component::ALL.iter().map(|&c| stressor(scale, c)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cochar_trace::slot::stream_census;
+
+    fn p(threads: usize) -> StreamParams {
+        StreamParams { thread: 0, threads, base: 1 << 40, seed: 1 }
+    }
+
+    #[test]
+    fn six_stressors_with_unique_names() {
+        let all = specs(&Scale::tiny());
+        assert_eq!(all.len(), 6);
+        let names: std::collections::HashSet<_> = all.iter().map(|s| s.name).collect();
+        assert_eq!(names.len(), 6);
+    }
+
+    #[test]
+    fn all_stressors_terminate() {
+        for spec in specs(&Scale::tiny()) {
+            let mut s = spec.factory.build(&p(4));
+            let (instr, _, _, _) = stream_census(&mut *s, 200_000_000);
+            assert!(instr > 0, "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn cpu_stressor_is_pure_compute() {
+        let spec = stressor(&Scale::tiny(), Component::Cpu);
+        let mut s = spec.factory.build(&p(2));
+        let (_, mem, _, _) = stream_census(&mut *s, 200_000_000);
+        assert_eq!(mem, 0);
+    }
+
+    #[test]
+    fn memlat_is_fully_dependent_membw_is_independent() {
+        use cochar_trace::Slot;
+        let check = |c: Component, want_dep: bool| {
+            let spec = stressor(&Scale::tiny(), c);
+            let mut s = spec.factory.build(&p(2));
+            while let Some(slot) = s.next_slot() {
+                if let Slot::Load { dep, .. } = slot {
+                    assert_eq!(dep, want_dep, "{c:?}");
+                }
+            }
+        };
+        check(Component::MemLat, true);
+        check(Component::MemBw, false);
+    }
+
+    #[test]
+    fn footprints_are_ordered_by_component() {
+        // L1 < L2 < LLC < MemBw footprints.
+        let scale = Scale::tiny();
+        let span = |c: Component| {
+            let spec = stressor(&scale, c);
+            let mut s = spec.factory.build(&p(1));
+            let (mut lo, mut hi) = (u64::MAX, 0u64);
+            while let Some(slot) = s.next_slot() {
+                if let Some(a) = slot.addr() {
+                    lo = lo.min(a);
+                    hi = hi.max(a);
+                }
+            }
+            hi.saturating_sub(lo)
+        };
+        let l1 = span(Component::L1);
+        let l2 = span(Component::L2);
+        let llc = span(Component::Llc);
+        assert!(l1 <= l2, "{l1} {l2}");
+        assert!(l2 < llc, "{l2} {llc}");
+    }
+}

@@ -1,0 +1,41 @@
+//! # cochar-workloads
+//!
+//! Models of the paper's 25 applications (Table I) and two
+//! mini-benchmarks, expressed as [`cochar_trace::StreamFactory`]s over the
+//! synthetic pattern generators and the graph substrate.
+//!
+//! Each model encodes an application's *resource-usage signature* —
+//! footprint relative to the LLC, access regularity, dependence structure,
+//! compute/memory ratio, and synchronization shape — taken from the
+//! paper's own solo-run characterization (Figs. 2-4). Everything else
+//! (bandwidth, scalability, prefetcher sensitivity, co-running
+//! degradation) is *measured* by simulating these models on
+//! `cochar-machine`; no slowdowns are baked in.
+//!
+//! ```
+//! use cochar_workloads::{Registry, Scale};
+//!
+//! let registry = Registry::new(Scale::tiny());
+//! assert_eq!(registry.applications().len(), 25);
+//! let gpr = registry.get("G-PR").unwrap();
+//! assert_eq!(gpr.suite, "GeminiGraph");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bubble;
+pub mod ibench;
+pub mod build;
+pub mod cntk;
+pub mod graph;
+pub mod hpc;
+pub mod mini;
+pub mod parsec;
+pub mod registry;
+pub mod scale;
+pub mod spec;
+pub mod speccpu;
+
+pub use registry::Registry;
+pub use scale::Scale;
+pub use spec::{Domain, WorkloadSpec};

@@ -1,0 +1,132 @@
+//! The two memory-stressing mini-benchmarks (paper Sec. III-B/VI-B).
+//!
+//! * **Stream** — McCalpin's triad: maximally regular, prefetcher-amplified
+//!   bandwidth (~24.5 GB/s solo at 4 threads, against a ~28 GB/s practical
+//!   peak). The paper's worst-case offender: co-running with Stream slows
+//!   the 25 applications to an average 0.61x, graph applications to ~2x.
+//! * **Bandit** — from Dr-BW (Xu et al., IPDPS'17): every access conflicts
+//!   with its predecessor in the caches, so *all* requests go to memory
+//!   (~18 GB/s), but nothing benefits from caches or prefetchers — a pure
+//!   bandwidth stressor whose co-running impact is far milder (0.77-1.0x).
+
+use std::sync::Arc;
+
+use cochar_trace::gen::{ConflictStream, Triad};
+use cochar_trace::{SlotStream, StreamFactory, StreamParams};
+
+use crate::build::{slab_share, split_work, thread_region, thread_seed};
+use crate::scale::Scale;
+use crate::spec::{Domain, WorkloadSpec};
+
+fn stream_factory(scale: &Scale) -> Arc<dyn StreamFactory> {
+    let arr_total = scale.llc_frac(2, 1);
+    let iterations = scale.scaled(2).max(1);
+    Arc::new(move |p: &StreamParams| {
+        let arr_bytes = slab_share(arr_total, p.threads);
+        let mut r = thread_region(p, 3 * arr_bytes + 256);
+        let n = arr_bytes / 8;
+        let a = r.array(n, 8);
+        let b = r.array(n, 8);
+        let c = r.array(n, 8);
+        Box::new(Triad::new(a, b, c, iterations)) as Box<dyn SlotStream>
+    })
+}
+
+fn bandit_factory(scale: &Scale) -> Arc<dyn StreamFactory> {
+    let arr_bytes = scale.llc_frac(4, 1);
+    // Way-span of the LLC (sets * line): consecutive accesses land in the
+    // same set group and evict each other at every level.
+    let conflict_stride = scale.llc_frac(1, 16);
+    let accesses_total = scale.scaled(240_000);
+    Arc::new(move |p: &StreamParams| {
+        let mut r = thread_region(p, arr_bytes + 128);
+        let arr = r.array(arr_bytes / 8, 8);
+        let my = split_work(accesses_total, p.thread, p.threads);
+        Box::new(ConflictStream::new(
+            arr,
+            my,
+            conflict_stride,
+            4,
+            thread_seed(p),
+            70,
+        )) as Box<dyn SlotStream>
+    })
+}
+
+/// Builds the two mini-benchmark specs.
+pub fn specs(scale: &Scale) -> Vec<WorkloadSpec> {
+    vec![
+        WorkloadSpec {
+            name: "stream",
+            suite: "mini-benchmarks",
+            domain: Domain::Mini,
+            description: "McCalpin STREAM triad: regular, prefetch-amplified peak bandwidth",
+            factory: stream_factory(scale),
+        },
+        WorkloadSpec {
+            name: "bandit",
+            suite: "mini-benchmarks",
+            domain: Domain::Mini,
+            description: "Bandit: all-miss conflicting accesses, cache/prefetch-immune bandwidth",
+            factory: bandit_factory(scale),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cochar_trace::slot::stream_census;
+    use cochar_trace::Slot;
+
+    fn p(thread: usize, threads: usize) -> StreamParams {
+        StreamParams { thread, threads, base: 1 << 40, seed: 2 }
+    }
+
+    #[test]
+    fn two_minis() {
+        let names: Vec<_> = specs(&Scale::tiny()).iter().map(|s| s.name).collect();
+        assert_eq!(names, vec!["stream", "bandit"]);
+    }
+
+    #[test]
+    fn stream_is_two_loads_one_store() {
+        let spec = specs(&Scale::tiny()).into_iter().find(|s| s.name == "stream").unwrap();
+        let mut s = spec.factory.build(&p(0, 4));
+        let (_, mem, loads, stores) = stream_census(&mut *s, 100_000_000);
+        assert_eq!(loads, 2 * stores);
+        assert_eq!(mem, loads + stores);
+    }
+
+    #[test]
+    fn bandit_loads_are_independent() {
+        let spec = specs(&Scale::tiny()).into_iter().find(|s| s.name == "bandit").unwrap();
+        let mut s = spec.factory.build(&p(0, 4));
+        while let Some(slot) = s.next_slot() {
+            if let Slot::Load { dep, .. } = slot {
+                assert!(!dep, "Bandit requests must be independent (high MLP)");
+            }
+        }
+    }
+
+    #[test]
+    fn minis_use_private_thread_regions() {
+        for spec in specs(&Scale::tiny()) {
+            let first = |t: usize| {
+                let mut s = spec.factory.build(&p(t, 2));
+                loop {
+                    match s.next_slot() {
+                        Some(slot) => {
+                            if let Some(a) = slot.addr() {
+                                return a;
+                            }
+                        }
+                        None => panic!("no access"),
+                    }
+                }
+            };
+            let d = first(1).abs_diff(first(0));
+            assert!(d >= (1 << 30), "{}: thread regions too close", spec.name);
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! PARSEC workload models (native input sizes).
+//!
+//! * **blackscholes** — embarrassingly parallel option pricing: huge
+//!   compute-to-memory ratio, tiny footprint, ~8x scaling, negligible
+//!   bandwidth — the paper's canonical *harmless* co-runner.
+//! * **freqmine** — FP-growth frequent itemset mining: cache-resident tree
+//!   walks, compute-heavy, scales well.
+//! * **swaptions** — Monte-Carlo pricing: pure compute, near-perfect
+//!   scaling.
+//! * **streamcluster** — online clustering: repeated streaming distance
+//!   computations over a working set larger than the LLC — high bandwidth,
+//!   strongly prefetcher-sensitive (paper Fig. 4), and the one PARSEC
+//!   member that saturates around 4 threads.
+
+use std::sync::Arc;
+
+use cochar_trace::gen::{Chain, ComputeStream, Interleave, RandomAccess, Seq};
+use cochar_trace::{SlotStream, StreamFactory, StreamParams};
+
+use crate::build::{shared_region, split_work, thread_region, thread_seed};
+use crate::scale::Scale;
+use crate::spec::{Domain, WorkloadSpec};
+
+fn blackscholes(scale: &Scale) -> Arc<dyn StreamFactory> {
+    let slab = scale.llc_frac(1, 16);
+    let total_options = scale.scaled(100_000);
+    // Input parsing/setup is replicated: Table II puts blackscholes in
+    // Medium despite the embarrassingly parallel pricing loop.
+    let serial = scale.scaled(500_000);
+    Arc::new(move |p: &StreamParams| {
+        let mut r = thread_region(p, slab + 128);
+        let a = r.array(slab / 8, 8);
+        let my = split_work(total_options, p.thread, p.threads);
+        // One option record load per option, ~60 FLOPs of Black-Scholes
+        // math, occasional result store.
+        let mut parts: Vec<Box<dyn SlotStream>> = Vec::new();
+        let full_sweeps = my / a.count();
+        let rem = my % a.count();
+        for _ in 0..full_sweeps {
+            parts.push(Box::new(Seq::full(a, 60, 8, 30)));
+        }
+        parts.push(Box::new(Seq::slice(a, 0, rem.min(a.count()), 60, 8, 30)));
+        crate::build::with_serial_prefix(serial, Box::new(Chain::new(parts)) as Box<dyn SlotStream>)
+    })
+}
+
+fn freqmine(scale: &Scale) -> Arc<dyn StreamFactory> {
+    let tree_bytes = scale.llc_frac(1, 2);
+    let total = scale.scaled(400_000);
+    Arc::new(move |p: &StreamParams| {
+        // The FP-tree is shared; walks are random but LLC-resident.
+        let mut r = shared_region(p, tree_bytes + 128);
+        let tree = r.array(tree_bytes / 8, 8);
+        let my = split_work(total, p.thread, p.threads);
+        Box::new(RandomAccess::new(tree, my, 10, 5, false, thread_seed(p), 40))
+            as Box<dyn SlotStream>
+    })
+}
+
+fn swaptions(scale: &Scale) -> Arc<dyn StreamFactory> {
+    let total_cycles = scale.scaled(6_000_000);
+    let slab = scale.llc_frac(1, 32);
+    Arc::new(move |p: &StreamParams| {
+        let my = split_work(total_cycles, p.thread, p.threads);
+        let mut r = thread_region(p, slab + 128);
+        let a = r.array(slab / 8, 8);
+        // Monte-Carlo paths: long compute bursts with rare state touches.
+        Box::new(Interleave::new(vec![
+            (Box::new(ComputeStream::new(my, 2048)) as Box<dyn SlotStream>, 50),
+            (Box::new(RandomAccess::new(a, my / 3000 + 1, 0, 20, false, thread_seed(p), 41)), 1),
+        ])) as Box<dyn SlotStream>
+    })
+}
+
+fn streamcluster(scale: &Scale) -> Arc<dyn StreamFactory> {
+    let points_bytes = scale.llc_frac(2, 1);
+    let sweeps = scale.scaled(5).max(1);
+    Arc::new(move |p: &StreamParams| {
+        // Shared point array; each thread repeatedly streams its slice
+        // computing distances to the current centres.
+        let mut r = shared_region(p, points_bytes + 128);
+        let points = r.array(points_bytes / 8, 8);
+        let n = points.count();
+        let lo = n * p.thread as u64 / p.threads as u64;
+        let hi = n * (p.thread as u64 + 1) / p.threads as u64;
+        let parts: Vec<Box<dyn SlotStream>> = (0..sweeps)
+            .map(|_| Box::new(Seq::slice(points, lo, hi, 3, 0, 42)) as Box<dyn SlotStream>)
+            .collect();
+        Box::new(Chain::new(parts)) as Box<dyn SlotStream>
+    })
+}
+
+/// Builds the four PARSEC workload specs.
+pub fn specs(scale: &Scale) -> Vec<WorkloadSpec> {
+    vec![
+        WorkloadSpec {
+            name: "blackscholes",
+            suite: "PARSEC",
+            domain: Domain::Parsec,
+            description: "Option pricing: compute-dense, tiny footprint, harmless co-runner",
+            factory: blackscholes(scale),
+        },
+        WorkloadSpec {
+            name: "freqmine",
+            suite: "PARSEC",
+            domain: Domain::Parsec,
+            description: "FP-growth mining: LLC-resident tree walks, compute-heavy",
+            factory: freqmine(scale),
+        },
+        WorkloadSpec {
+            name: "swaptions",
+            suite: "PARSEC",
+            domain: Domain::Parsec,
+            description: "Monte-Carlo swaption pricing: pure compute, near-perfect scaling",
+            factory: swaptions(scale),
+        },
+        WorkloadSpec {
+            name: "streamcluster",
+            suite: "PARSEC",
+            domain: Domain::Parsec,
+            description: "Online clustering: streaming distance kernel, prefetch-sensitive",
+            factory: streamcluster(scale),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cochar_trace::slot::stream_census;
+
+    fn p(thread: usize, threads: usize) -> StreamParams {
+        StreamParams { thread, threads, base: 1 << 40, seed: 3 }
+    }
+
+    #[test]
+    fn four_specs_with_paper_names() {
+        let names: Vec<_> = specs(&Scale::tiny()).iter().map(|s| s.name).collect();
+        assert_eq!(names, vec!["blackscholes", "freqmine", "swaptions", "streamcluster"]);
+    }
+
+    #[test]
+    fn all_streams_terminate() {
+        for spec in specs(&Scale::tiny()) {
+            let mut s = spec.factory.build(&p(0, 4));
+            let (instr, _, _, _) = stream_census(&mut *s, 100_000_000);
+            assert!(instr > 0, "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn compute_density_ordering_matches_the_paper() {
+        // swaptions and blackscholes are compute-dense; streamcluster is
+        // memory-dense.
+        let all = specs(&Scale::tiny());
+        let density = |name: &str| {
+            let spec = all.iter().find(|s| s.name == name).unwrap();
+            let mut s = spec.factory.build(&p(0, 4));
+            let (instr, mem, _, _) = stream_census(&mut *s, 100_000_000);
+            instr as f64 / mem.max(1) as f64
+        };
+        let sw = density("swaptions");
+        let bs = density("blackscholes");
+        let sc = density("streamcluster");
+        assert!(sw > 10.0 * sc, "swaptions {sw:.1} vs streamcluster {sc:.1}");
+        assert!(bs > 5.0 * sc, "blackscholes {bs:.1} vs streamcluster {sc:.1}");
+    }
+
+    #[test]
+    fn streamcluster_slices_are_disjoint_across_threads() {
+        let spec = specs(&Scale::tiny()).into_iter().find(|s| s.name == "streamcluster").unwrap();
+        let addrs = |t: usize| {
+            let mut s = spec.factory.build(&p(t, 2));
+            let mut set = std::collections::HashSet::new();
+            while let Some(slot) = s.next_slot() {
+                if let Some(a) = slot.addr() {
+                    set.insert(a);
+                }
+            }
+            set
+        };
+        let a0 = addrs(0);
+        let a1 = addrs(1);
+        assert!(a0.is_disjoint(&a1), "thread slices must not overlap");
+        assert!(!a0.is_empty() && !a1.is_empty());
+    }
+
+    #[test]
+    fn blackscholes_work_splits_by_thread() {
+        let spec = specs(&Scale::tiny()).into_iter().find(|s| s.name == "blackscholes").unwrap();
+        let mem = |thread, threads| {
+            let mut s = spec.factory.build(&p(thread, threads));
+            stream_census(&mut *s, 100_000_000).1
+        };
+        let solo = mem(0, 1) as f64;
+        let quarter = mem(0, 4) as f64;
+        assert!(
+            (quarter / solo - 0.25).abs() < 0.05,
+            "4-thread share should be ~1/4: {quarter} vs {solo}"
+        );
+    }
+}

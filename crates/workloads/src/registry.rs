@@ -1,0 +1,134 @@
+//! The workload registry: Table I of the paper.
+//!
+//! 25 applications across five domains plus the two mini-benchmarks,
+//! addressable by name. The 25 applications form the 625 consolidation
+//! pairs of Fig. 5; the mini-benchmarks drive the Fig. 6 sensitivity
+//! study.
+
+use std::collections::HashMap;
+
+use crate::graph::GraphAssets;
+use crate::scale::Scale;
+use crate::spec::{Domain, WorkloadSpec};
+use crate::{cntk, graph, hpc, mini, parsec, speccpu};
+
+/// All workloads of the study, built for one [`Scale`].
+pub struct Registry {
+    scale: Scale,
+    specs: Vec<WorkloadSpec>,
+    by_name: HashMap<&'static str, usize>,
+}
+
+impl Registry {
+    /// Builds the full registry (generates the shared graph and computes
+    /// every graph algorithm's frontiers — a one-time host cost).
+    pub fn new(scale: Scale) -> Self {
+        let assets = GraphAssets::build(&scale);
+        let mut specs = Vec::new();
+        specs.extend(graph::specs(&assets));
+        specs.extend(cntk::specs(&scale));
+        specs.extend(parsec::specs(&scale));
+        specs.extend(speccpu::specs(&scale));
+        specs.extend(hpc::specs(&scale));
+        specs.extend(mini::specs(&scale));
+        let by_name = specs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.name, i))
+            .collect();
+        Registry { scale, specs, by_name }
+    }
+
+    /// The scale the registry was built for.
+    pub fn scale(&self) -> &Scale {
+        &self.scale
+    }
+
+    /// All workloads including the mini-benchmarks.
+    pub fn all(&self) -> &[WorkloadSpec] {
+        &self.specs
+    }
+
+    /// The 25 applications of the consolidation study (mini-benchmarks
+    /// excluded) — the rows and columns of Fig. 5.
+    pub fn applications(&self) -> Vec<&WorkloadSpec> {
+        self.specs.iter().filter(|s| s.domain != Domain::Mini).collect()
+    }
+
+    /// The two mini-benchmarks.
+    pub fn minis(&self) -> Vec<&WorkloadSpec> {
+        self.specs.iter().filter(|s| s.domain == Domain::Mini).collect()
+    }
+
+    /// Lookup by paper name (e.g. "G-PR", "fotonik3d", "stream").
+    pub fn get(&self, name: &str) -> Option<&WorkloadSpec> {
+        self.by_name.get(name).map(|&i| &self.specs[i])
+    }
+
+    /// Workloads of one domain.
+    pub fn by_domain(&self, domain: Domain) -> Vec<&WorkloadSpec> {
+        self.specs.iter().filter(|s| s.domain == domain).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry() -> Registry {
+        Registry::new(Scale::tiny())
+    }
+
+    #[test]
+    fn twenty_five_applications_plus_two_minis() {
+        let r = registry();
+        assert_eq!(r.applications().len(), 25);
+        assert_eq!(r.minis().len(), 2);
+        assert_eq!(r.all().len(), 27);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let r = registry();
+        let names: std::collections::HashSet<_> = r.all().iter().map(|s| s.name).collect();
+        assert_eq!(names.len(), 27);
+    }
+
+    #[test]
+    fn table_one_counts_per_suite() {
+        let r = registry();
+        let count = |suite: &str| r.all().iter().filter(|s| s.suite == suite).count();
+        assert_eq!(count("GeminiGraph"), 5);
+        assert_eq!(count("PowerGraph"), 3);
+        assert_eq!(count("CNTK"), 4);
+        assert_eq!(count("PARSEC"), 4);
+        assert_eq!(count("SPEC CPU2017"), 6);
+        assert_eq!(count("HPC"), 3);
+        assert_eq!(count("mini-benchmarks"), 2);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let r = registry();
+        assert_eq!(r.get("G-PR").unwrap().suite, "GeminiGraph");
+        assert_eq!(r.get("fotonik3d").unwrap().domain, Domain::SpecCpu);
+        assert!(r.get("nonexistent").is_none());
+    }
+
+    #[test]
+    fn by_domain_partitions_the_set() {
+        let r = registry();
+        let total: usize = [
+            Domain::Graph,
+            Domain::DeepLearning,
+            Domain::Parsec,
+            Domain::SpecCpu,
+            Domain::Hpc,
+            Domain::Mini,
+        ]
+        .iter()
+        .map(|&d| r.by_domain(d).len())
+        .sum();
+        assert_eq!(total, 27);
+    }
+}

@@ -1,0 +1,146 @@
+//! Workload scaling: tying footprints to the simulated machine.
+//!
+//! The paper's workloads matter through their *ratios*: footprint vs LLC
+//! capacity, bandwidth demand vs controller peak, compute vs memory. A
+//! [`Scale`] anchors every workload model to the target machine's LLC so
+//! those ratios — and therefore the interference behaviour — are preserved
+//! whether the suite runs on the full 20 MB `paper()` machine or a
+//! scaled-down one.
+
+use cochar_machine::MachineConfig;
+use serde::{Deserialize, Serialize};
+
+/// Scaling parameters shared by all workload models.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Scale {
+    /// LLC capacity of the target machine (the footprint anchor).
+    pub llc_bytes: u64,
+    /// Global work multiplier: scales run length without changing
+    /// footprints (1.0 ≈ a few million cycles per solo 4-thread run).
+    pub work: f64,
+    /// log2 of the synthetic graph's vertex count.
+    pub graph_scale: u32,
+    /// Average out-degree of the synthetic graph.
+    pub graph_edge_factor: u32,
+    /// Base seed for graph generation and randomized patterns.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// Derives a scale from a machine configuration: the graph is sized so
+    /// its footprint is ~2.5x the LLC (friendster vs the paper's 20 MB L3
+    /// is far larger still, but beyond ~2x the LLC the miss behaviour is
+    /// footprint-insensitive).
+    pub fn for_config(cfg: &MachineConfig) -> Self {
+        Self::for_llc(cfg.llc.bytes)
+    }
+
+    /// Derives a scale from an LLC capacity in bytes.
+    pub fn for_llc(llc_bytes: u64) -> Self {
+        let edge_factor = 16u32;
+        // Target edge count: m * 8 bytes ~ 2.5 * LLC.
+        let m_target = llc_bytes * 5 / 16;
+        let n_target = (m_target / u64::from(edge_factor)).max(64);
+        let graph_scale = 63 - n_target.leading_zeros();
+        Scale {
+            llc_bytes,
+            work: 1.0,
+            graph_scale: graph_scale.clamp(6, 22),
+            graph_edge_factor: edge_factor,
+            seed: 0xC0C4A5,
+        }
+    }
+
+    /// Tiny scale for unit tests (pairs with `MachineConfig::tiny()`).
+    pub fn tiny() -> Self {
+        let mut s = Self::for_llc(16 * 1024);
+        s.work = 0.1;
+        s
+    }
+
+    /// Returns a copy with a different work multiplier.
+    pub fn with_work(mut self, work: f64) -> Self {
+        self.work = work;
+        self
+    }
+
+    /// Returns a copy with a different seed (trials).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Graph vertex count.
+    pub fn graph_vertices(&self) -> u32 {
+        1u32 << self.graph_scale
+    }
+
+    /// Graph edge count.
+    pub fn graph_edges(&self) -> u64 {
+        u64::from(self.graph_edge_factor) << self.graph_scale
+    }
+
+    /// A footprint of `num/den` times the LLC, line-aligned, at least one
+    /// line.
+    pub fn llc_frac(&self, num: u64, den: u64) -> u64 {
+        ((self.llc_bytes * num / den) / 64).max(1) * 64
+    }
+
+    /// Scales a work quantity (slot/iteration counts) by the multiplier.
+    pub fn scaled(&self, units: u64) -> u64 {
+        ((units as f64 * self.work) as u64).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graph_footprint_tracks_llc() {
+        for llc in [256 * 1024u64, 1 << 20, 20 << 20] {
+            let s = Scale::for_llc(llc);
+            // Footprint of the graph arrays: (5n + m) * 8 bytes.
+            let n = u64::from(s.graph_vertices());
+            let m = s.graph_edges();
+            let fp = (5 * n + m) * 8;
+            let ratio = fp as f64 / llc as f64;
+            assert!(
+                (1.2..5.0).contains(&ratio),
+                "graph footprint should be 1.2-5x LLC, got {ratio:.2} at llc={llc}"
+            );
+        }
+    }
+
+    #[test]
+    fn for_config_uses_machine_llc() {
+        let cfg = MachineConfig::paper();
+        let s = Scale::for_config(&cfg);
+        assert_eq!(s.llc_bytes, 20 << 20);
+    }
+
+    #[test]
+    fn llc_frac_is_line_aligned_and_positive() {
+        let s = Scale::for_llc(1 << 20);
+        assert_eq!(s.llc_frac(1, 2), 512 * 1024);
+        assert_eq!(s.llc_frac(1, 1) % 64, 0);
+        assert!(s.llc_frac(1, 1_000_000) >= 64);
+    }
+
+    #[test]
+    fn scaled_applies_multiplier_with_floor() {
+        let s = Scale::for_llc(1 << 20).with_work(0.5);
+        assert_eq!(s.scaled(100), 50);
+        assert_eq!(s.scaled(1), 1); // never zero
+        let s2 = s.with_work(3.0);
+        assert_eq!(s2.scaled(100), 300);
+    }
+
+    #[test]
+    fn graph_scale_is_clamped() {
+        let s = Scale::for_llc(64);
+        assert!(s.graph_scale >= 6);
+        let s = Scale::for_llc(1 << 40);
+        assert!(s.graph_scale <= 22);
+    }
+}

@@ -1,0 +1,98 @@
+//! Workload specification: the unit the co-location harness schedules.
+
+use std::sync::Arc;
+
+use cochar_trace::StreamFactory;
+use serde::{Deserialize, Serialize};
+
+/// Application domain (Table I of the paper).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Domain {
+    /// Graph analytics (GeminiGraph, PowerGraph).
+    Graph,
+    /// Deep learning training (CNTK).
+    DeepLearning,
+    /// Parallel real-world applications (PARSEC).
+    Parsec,
+    /// CPU/memory-intensive standard benchmarks (SPEC CPU2017, rate mode).
+    SpecCpu,
+    /// LLNL HPC proxy applications.
+    Hpc,
+    /// Memory-stressing mini-benchmarks (Stream, Bandit).
+    Mini,
+}
+
+impl Domain {
+    /// Human-readable suite label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Domain::Graph => "Graph",
+            Domain::DeepLearning => "CNTK",
+            Domain::Parsec => "PARSEC",
+            Domain::SpecCpu => "SPEC CPU2017",
+            Domain::Hpc => "HPC",
+            Domain::Mini => "mini-benchmarks",
+        }
+    }
+}
+
+/// One of the suite's applications: a named, domain-tagged stream factory.
+#[derive(Clone)]
+pub struct WorkloadSpec {
+    /// Short name as used in the paper's figures (e.g. "G-PR", "fotonik3d").
+    pub name: &'static str,
+    /// Benchmark suite (e.g. "GeminiGraph", "SPEC CPU2017").
+    pub suite: &'static str,
+    /// Domain bucket.
+    pub domain: Domain,
+    /// One-line description of the model.
+    pub description: &'static str,
+    /// Builds the per-thread slot streams.
+    pub factory: Arc<dyn StreamFactory>,
+}
+
+impl std::fmt::Debug for WorkloadSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkloadSpec")
+            .field("name", &self.name)
+            .field("suite", &self.suite)
+            .field("domain", &self.domain)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cochar_trace::{Slot, SlotStream, StreamParams, VecStream};
+
+    #[test]
+    fn domain_labels_are_distinct() {
+        let all = [
+            Domain::Graph,
+            Domain::DeepLearning,
+            Domain::Parsec,
+            Domain::SpecCpu,
+            Domain::Hpc,
+            Domain::Mini,
+        ];
+        let labels: std::collections::HashSet<_> = all.iter().map(|d| d.label()).collect();
+        assert_eq!(labels.len(), all.len());
+    }
+
+    #[test]
+    fn spec_debug_is_compact() {
+        let spec = WorkloadSpec {
+            name: "x",
+            suite: "s",
+            domain: Domain::Mini,
+            description: "d",
+            factory: Arc::new(|_: &StreamParams| {
+                Box::new(VecStream::new(vec![Slot::Compute(1)])) as Box<dyn SlotStream>
+            }),
+        };
+        let s = format!("{spec:?}");
+        assert!(s.contains("\"x\""));
+        assert!(!s.contains("factory"));
+    }
+}

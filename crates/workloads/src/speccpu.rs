@@ -1,0 +1,261 @@
+//! SPEC CPU2017 workload models (rate mode: independent per-thread copies).
+//!
+//! The six benchmarks chosen by the paper's subsetting (Phansalkar-style):
+//! three floating-point (cactuBSSN, nab, fotonik3d) and three integer
+//! (xalancbmk, mcf, deepsjeng). Rate-mode semantics are modelled by giving
+//! every thread its own private data region.
+//!
+//! The two personalities that matter for interference: **fotonik3d** is
+//! the paper's prototypical offender (regular FDTD sweeps, ~18.4 GB/s at
+//! 4 copies, 1.18x prefetcher-sensitive, saturates beyond 4 copies);
+//! **mcf** is latency-bound pointer chasing over a large arc network.
+
+use std::sync::Arc;
+
+use cochar_trace::gen::{Chain, ComputeStream, Interleave, PointerChase, RandomAccess, Seq, Stencil};
+use cochar_trace::{SlotStream, StreamFactory, StreamParams};
+
+use crate::build::{slab_share, split_work, thread_region, thread_seed, with_serial_prefix};
+use crate::scale::Scale;
+use crate::spec::{Domain, WorkloadSpec};
+
+fn mcf(scale: &Scale) -> Arc<dyn StreamFactory> {
+    // Each copy's arc network alone exceeds the LLC (real mcf touches
+    // hundreds of MB), so chases go to memory at any copy count and
+    // rate-mode scaling stays near-linear until bandwidth saturates.
+    let slab = scale.llc_frac(2, 1);
+    let total = scale.scaled(70_000);
+    Arc::new(move |p: &StreamParams| {
+        let mut r = thread_region(p, slab + 128);
+        let arcs = r.array(slab / 8, 8);
+        let my = split_work(total, p.thread, p.threads);
+        let seed = thread_seed(p);
+        // Network simplex: arc-list chases with interleaved independent
+        // cost lookups.
+        Box::new(Interleave::new(vec![
+            (Box::new(PointerChase::new(arcs, my * 2 / 5, 8, seed, 50)) as Box<dyn SlotStream>, 2),
+            (Box::new(RandomAccess::new(arcs, my * 3 / 5, 8, 10, false, seed ^ 1, 51)), 3),
+        ])) as Box<dyn SlotStream>
+    })
+}
+
+fn fotonik3d(scale: &Scale) -> Arc<dyn StreamFactory> {
+    let src_total = scale.llc_frac(2, 1);
+    let dst_total = scale.llc_frac(1, 1);
+    let sweeps = scale.scaled(2).max(1);
+    Arc::new(move |p: &StreamParams| {
+        // The grid is divided among threads; each thread's private slab
+        // shrinks as threads grow (total footprint and work are fixed).
+        let src_bytes = slab_share(src_total, p.threads);
+        let dst_bytes = slab_share(dst_total, p.threads);
+        let mut r = thread_region(p, src_bytes + dst_bytes + 256);
+        let src = r.array(src_bytes / 8, 8);
+        let dst = r.array(dst_bytes / 8, 8);
+        let plane = ((src.count() / 8) | 1).max(1); // odd: avoids set aliasing
+        // FDTD field updates: 4 concurrent plane streams per output.
+        let parts: Vec<Box<dyn SlotStream>> = (0..sweeps)
+            .map(|_| {
+                Box::new(Stencil::new(src, dst, 0, dst.count(), 4, plane, 4, 52))
+                    as Box<dyn SlotStream>
+            })
+            .collect();
+        Box::new(Chain::new(parts)) as Box<dyn SlotStream>
+    })
+}
+
+fn deepsjeng(scale: &Scale) -> Arc<dyn StreamFactory> {
+    let table = scale.llc_frac(1, 16);
+    let cycles = scale.scaled(4_000_000);
+    let serial = scale.scaled(450_000);
+    Arc::new(move |p: &StreamParams| {
+        let mut r = thread_region(p, table + 128);
+        let tt = r.array(table / 8, 8);
+        let my = split_work(cycles, p.thread, p.threads);
+        // Alpha-beta search: compute bursts with transposition-table
+        // probes that stay cache-resident, behind a replicated opening
+        // phase (Table II puts deepsjeng in Medium).
+        let inner = Box::new(Interleave::new(vec![
+            (Box::new(ComputeStream::new(my, 1024)) as Box<dyn SlotStream>, 20),
+            (Box::new(RandomAccess::new(tt, my / 800 + 1, 0, 20, false, thread_seed(p), 53)), 1),
+        ])) as Box<dyn SlotStream>;
+        with_serial_prefix(serial, inner)
+    })
+}
+
+fn nab(scale: &Scale) -> Arc<dyn StreamFactory> {
+    let slab = scale.llc_frac(1, 16);
+    let total = scale.scaled(150_000);
+    Arc::new(move |p: &StreamParams| {
+        let mut r = thread_region(p, slab + 128);
+        let atoms = r.array(slab / 8, 8);
+        let my = split_work(total, p.thread, p.threads);
+        let sweeps = (my / atoms.count()).max(1);
+        // Molecular dynamics: repeated sweeps of the atom array with heavy
+        // force-field math per element.
+        let parts: Vec<Box<dyn SlotStream>> = (0..sweeps)
+            .map(|_| Box::new(Seq::full(atoms, 20, 6, 54)) as Box<dyn SlotStream>)
+            .collect();
+        Box::new(Chain::new(parts)) as Box<dyn SlotStream>
+    })
+}
+
+fn xalancbmk(scale: &Scale) -> Arc<dyn StreamFactory> {
+    let dom = scale.llc_frac(1, 16);
+    let total = scale.scaled(80_000);
+    let serial = scale.scaled(250_000);
+    Arc::new(move |p: &StreamParams| {
+        let mut r = thread_region(p, dom + 128);
+        let nodes = r.array(dom / 8, 8);
+        let my = split_work(total, p.thread, p.threads);
+        // XSLT: DOM-tree chases (LLC-resident) behind a replicated
+        // parsing front-end (medium scalability in Table II).
+        let inner =
+            Box::new(PointerChase::new(nodes, my, 4, thread_seed(p), 55)) as Box<dyn SlotStream>;
+        with_serial_prefix(serial, inner)
+    })
+}
+
+fn cactubssn(scale: &Scale) -> Arc<dyn StreamFactory> {
+    let src_total = scale.llc_frac(1, 1);
+    let dst_total = scale.llc_frac(1, 2);
+    let sweeps = scale.scaled(3).max(1);
+    Arc::new(move |p: &StreamParams| {
+        let src_bytes = slab_share(src_total, p.threads);
+        let dst_bytes = slab_share(dst_total, p.threads);
+        let mut r = thread_region(p, src_bytes + dst_bytes + 256);
+        let src = r.array(src_bytes / 8, 8);
+        let dst = r.array(dst_bytes / 8, 8);
+        let plane = ((src.count() / 16) | 1).max(1);
+        // Numerical relativity: wide stencils over a mostly cache-blocked
+        // grid with substantial per-point math.
+        let parts: Vec<Box<dyn SlotStream>> = (0..sweeps)
+            .map(|_| {
+                Box::new(Stencil::new(src, dst, 0, dst.count(), 8, plane, 8, 56))
+                    as Box<dyn SlotStream>
+            })
+            .collect();
+        Box::new(Chain::new(parts)) as Box<dyn SlotStream>
+    })
+}
+
+/// Builds the six SPEC CPU2017 workload specs.
+pub fn specs(scale: &Scale) -> Vec<WorkloadSpec> {
+    let w = |name, description, factory| WorkloadSpec {
+        name,
+        suite: "SPEC CPU2017",
+        domain: Domain::SpecCpu,
+        description,
+        factory,
+    };
+    vec![
+        w("mcf", "Network simplex: latency-bound arc chasing over a large graph", mcf(scale)),
+        w(
+            "fotonik3d",
+            "FDTD electromagnetics: regular plane sweeps, ~18 GB/s offender",
+            fotonik3d(scale),
+        ),
+        w("deepsjeng", "Chess search: compute bursts + cache-resident table probes", deepsjeng(scale)),
+        w("nab", "Molecular dynamics: force-field math over a small atom array", nab(scale)),
+        w("xalancbmk", "XSLT: DOM chases behind a replicated parsing front-end", xalancbmk(scale)),
+        w("cactuBSSN", "Numerical relativity: wide cache-blocked stencils", cactubssn(scale)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cochar_trace::slot::stream_census;
+    use cochar_trace::Slot;
+
+    fn p(thread: usize, threads: usize) -> StreamParams {
+        StreamParams { thread, threads, base: 1 << 40, seed: 4 }
+    }
+
+    #[test]
+    fn six_specs_with_paper_names() {
+        let names: Vec<_> = specs(&Scale::tiny()).iter().map(|s| s.name).collect();
+        assert_eq!(
+            names,
+            vec!["mcf", "fotonik3d", "deepsjeng", "nab", "xalancbmk", "cactuBSSN"]
+        );
+    }
+
+    #[test]
+    fn all_streams_terminate() {
+        for spec in specs(&Scale::tiny()) {
+            let mut s = spec.factory.build(&p(1, 4));
+            let (instr, mem, _, _) = stream_census(&mut *s, 100_000_000);
+            assert!(instr > 0 && mem > 0, "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn rate_mode_threads_use_private_regions() {
+        for spec in specs(&Scale::tiny()) {
+            let addr_of_first_access = |t: usize| {
+                let mut s = spec.factory.build(&p(t, 2));
+                while let Some(slot) = s.next_slot() {
+                    if let Some(a) = slot.addr() {
+                        return a;
+                    }
+                }
+                panic!("{} has no memory access", spec.name)
+            };
+            let a0 = addr_of_first_access(0);
+            let a1 = addr_of_first_access(1);
+            assert!(
+                a1 >= a0 + (1 << 30) || a0 >= a1 + (1 << 30),
+                "{}: rate copies must live in distant regions",
+                spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn mcf_mixes_dependent_chases_with_independent_lookups() {
+        let spec = specs(&Scale::tiny()).into_iter().find(|s| s.name == "mcf").unwrap();
+        let mut s = spec.factory.build(&p(0, 4));
+        let (mut dep, mut indep) = (0u64, 0u64);
+        while let Some(slot) = s.next_slot() {
+            if let Slot::Load { dep: d, .. } = slot {
+                if d {
+                    dep += 1;
+                } else {
+                    indep += 1;
+                }
+            }
+        }
+        let frac = dep as f64 / (dep + indep) as f64;
+        assert!(
+            (0.25..0.55).contains(&frac),
+            "mcf chase fraction should be ~0.4: dep={dep} indep={indep}"
+        );
+    }
+
+    #[test]
+    fn fotonik_is_memory_dense_deepsjeng_is_compute_dense() {
+        let all = specs(&Scale::tiny());
+        let density = |name: &str| {
+            let spec = all.iter().find(|s| s.name == name).unwrap();
+            let mut s = spec.factory.build(&p(0, 4));
+            let (instr, mem, _, _) = stream_census(&mut *s, 100_000_000);
+            instr as f64 / mem.max(1) as f64
+        };
+        assert!(density("deepsjeng") > 8.0 * density("fotonik3d"));
+    }
+
+    #[test]
+    fn xalancbmk_has_serial_front_end() {
+        let spec = specs(&Scale::tiny()).into_iter().find(|s| s.name == "xalancbmk").unwrap();
+        // Thread 0's instruction count shrinks sublinearly from 1 to 8
+        // threads because the parse front-end is replicated.
+        let instr = |threads| {
+            let mut s = spec.factory.build(&p(0, threads));
+            stream_census(&mut *s, 100_000_000).0
+        };
+        let i1 = instr(1) as f64;
+        let i8 = instr(8) as f64;
+        assert!(i8 > i1 / 6.0, "serial prefix must keep 8t work above 1/6 of 1t");
+        assert!(i8 < i1, "parallel part must still shrink");
+    }
+}

@@ -1,0 +1,63 @@
+//! Noisy-neighbour forensics: diagnose *why* a job got slow, from
+//! counters alone — the paper's Sec. VI provenance methodology.
+//!
+//! Runs G-PR as the "production job" against a series of unknown
+//! neighbours and uses the counter movements (LLC MPKI vs LL vs L2_PCP)
+//! to attribute the damage to LLC contention, bandwidth contention, or
+//! neither.
+//!
+//! ```sh
+//! cargo run --release --example noisy_neighbor
+//! ```
+
+use std::sync::Arc;
+
+use cochar::prelude::*;
+
+fn diagnose(d_mpki: f64, d_ll: f64, pcp: f64) -> &'static str {
+    match (d_mpki > 1.25, d_ll > 1.5, pcp > 0.85) {
+        (true, true, _) => "LLC contention + memory bandwidth saturation",
+        (true, false, _) => "LLC capacity contention (working set evicted)",
+        (false, true, _) => "memory bandwidth contention (queueing delay)",
+        (false, false, true) => "memory-bound but neighbour is quiet",
+        _ => "no significant memory interference",
+    }
+}
+
+fn main() {
+    let cfg = MachineConfig::bench();
+    let registry = Arc::new(Registry::new(Scale::for_config(&cfg)));
+    let study = Study::new(cfg, registry);
+
+    let victim = "G-PR";
+    let solo = study.solo(victim);
+    println!(
+        "production job {victim}: solo CPI {:.2}, LLC MPKI {:.1}, LL {:.1}, L2_PCP {:.0}%\n",
+        solo.profile.cpi,
+        solo.profile.llc_mpki,
+        solo.profile.ll,
+        solo.profile.l2_pcp * 100.0
+    );
+
+    for neighbor in ["swaptions", "bandit", "stream", "fotonik3d", "CIFAR"] {
+        let pair = study.pair(victim, neighbor);
+        let d = pair.fg.relative_to(&solo.profile);
+        println!(
+            "neighbour {:<10} runtime {:.2}x | CPI {:.2}x  MPKI {:.2}x  LL {:.2}x  PCP {:.0}%",
+            neighbor,
+            pair.fg_slowdown,
+            d.cpi,
+            d.llc_mpki,
+            d.ll,
+            pair.fg.l2_pcp * 100.0
+        );
+        println!("    diagnosis: {}", diagnose(d.llc_mpki, d.ll, pair.fg.l2_pcp));
+        println!(
+            "    neighbour consumed {:.1} GB/s while we ran\n",
+            pair.bg.bandwidth_gbs
+        );
+    }
+
+    println!("expected: swaptions harmless; bandit = pure bandwidth (mild, no LLC");
+    println!("damage); stream = LLC + bandwidth (worst); fotonik3d/CIFAR in between.");
+}

@@ -1,0 +1,46 @@
+//! Prefetcher tuning: which of the four Sandy Bridge prefetchers earns
+//! its bandwidth for a given workload?
+//!
+//! Reproduces the paper's Sec. IV-C methodology (MSR 0x1A4 bit toggling)
+//! and extends it with a per-prefetcher breakdown — useful when deciding
+//! whether to disable prefetchers for co-location (as some operators do).
+//!
+//! ```sh
+//! cargo run --release --example prefetcher_tuning
+//! ```
+
+use std::sync::Arc;
+
+use cochar::colocation::prefetcher::{per_prefetcher_breakdown, sensitivity};
+use cochar::prelude::*;
+
+fn main() {
+    let cfg = MachineConfig::bench();
+    let registry = Arc::new(Registry::new(Scale::for_config(&cfg)));
+    let study = Study::new(cfg, registry);
+
+    for name in ["fotonik3d", "streamcluster", "G-CC", "mcf"] {
+        let all = sensitivity(&study, name);
+        println!(
+            "{name}: disabling ALL prefetchers costs {:.2}x ({:.1} -> {:.1} Mcycles)",
+            all.slowdown,
+            all.on_cycles as f64 / 1e6,
+            all.off_cycles as f64 / 1e6,
+        );
+        for (which, slow) in per_prefetcher_breakdown(&study, name) {
+            let verdict = if slow > 1.05 {
+                "load-bearing"
+            } else if slow < 0.97 {
+                "harmful here"
+            } else {
+                "negligible"
+            };
+            println!("    {which:<18} {slow:.2}x  ({verdict})");
+        }
+        println!();
+    }
+
+    println!("reading: regular sweeps (fotonik3d, streamcluster) lean on the L2");
+    println!("stream prefetcher; irregular apps (G-CC, mcf) gain nothing — matching");
+    println!("the paper's finding that graph/ML apps are prefetcher-insensitive.");
+}

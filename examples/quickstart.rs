@@ -1,0 +1,61 @@
+//! Quickstart: characterize one application solo, then measure what a
+//! noisy neighbour does to it.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use std::sync::Arc;
+
+use cochar::prelude::*;
+
+fn main() {
+    // A scaled-down replica of the paper's 8-core Sandy Bridge node: the
+    // `bench` preset keeps the topology and the ~28 GB/s bandwidth model
+    // and shrinks capacities ~20x; workload footprints scale with the LLC.
+    let cfg = MachineConfig::bench();
+    println!(
+        "machine: {} cores, {} KiB LLC, peak {:.1} GB/s",
+        cfg.cores,
+        cfg.llc.bytes / 1024,
+        cfg.peak_bandwidth_gbs()
+    );
+
+    // The 25 applications + 2 mini-benchmarks of the study.
+    let registry = Arc::new(Registry::new(Scale::for_config(&cfg)));
+    let study = Study::new(cfg, registry);
+
+    // 1. Solo characterization (paper Sec. IV): run G-CC alone on 4 cores.
+    let solo = study.solo("G-CC");
+    println!("\nG-CC alone (4 threads):");
+    println!("  runtime    {:.1} Mcycles", solo.elapsed_cycles as f64 / 1e6);
+    println!("  bandwidth  {:.1} GB/s", solo.profile.bandwidth_gbs);
+    println!("  CPI        {:.2}", solo.profile.cpi);
+    println!("  LLC MPKI   {:.1}", solo.profile.llc_mpki);
+    println!("  L2_PCP     {:.0}%", solo.profile.l2_pcp * 100.0);
+
+    // 2. Co-run it against fotonik3d on the other 4 cores (Sec. V).
+    let pair = study.pair("G-CC", "fotonik3d");
+    println!("\nG-CC with fotonik3d in the background:");
+    println!("  normalized runtime {:.2}x", pair.fg_slowdown);
+    println!("  CPI        {:.2}", pair.fg.cpi);
+    println!("  LLC MPKI   {:.1}", pair.fg.llc_mpki);
+    println!("  L2_PCP     {:.0}%", pair.fg.l2_pcp * 100.0);
+
+    // 3. Classify the relationship (both directions).
+    let reverse = study.pair("fotonik3d", "G-CC");
+    let class = classify(pair.fg_slowdown, reverse.fg_slowdown);
+    println!(
+        "\nrelationship: {} (G-CC {:.2}x, fotonik3d {:.2}x)",
+        class.label(),
+        pair.fg_slowdown,
+        reverse.fg_slowdown
+    );
+    match class {
+        PairClass::VictimOffender { victim_is_a } => {
+            println!("victim: {}", if victim_is_a { "G-CC" } else { "fotonik3d" });
+        }
+        PairClass::Harmony => println!("safe to consolidate"),
+        PairClass::BothVictim => println!("never consolidate these"),
+    }
+}

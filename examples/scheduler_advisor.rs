@@ -1,0 +1,91 @@
+//! Scheduler advisor: use the interference characterization the way the
+//! paper's intro motivates — to pick safe consolidations for a
+//! throughput-oriented cluster.
+//!
+//! Given a set of jobs, measures the pairwise heatmap and greedily packs
+//! jobs into 2-per-node bundles, avoiding Victim-Offender and Both-Victim
+//! pairings.
+//!
+//! ```sh
+//! cargo run --release --example scheduler_advisor
+//! ```
+
+use std::sync::Arc;
+
+use cochar::colocation::report::heat::ascii_heatmap;
+use cochar::prelude::*;
+
+/// The job mix waiting in the queue.
+const JOBS: [&str; 8] =
+    ["G-CC", "CIFAR", "fotonik3d", "blackscholes", "swaptions", "mcf", "IRSmk", "deepsjeng"];
+
+fn main() {
+    let cfg = MachineConfig::bench();
+    let registry = Arc::new(Registry::new(Scale::for_config(&cfg)));
+    let study = Study::new(cfg, registry);
+
+    println!("measuring pairwise interference for {} jobs...", JOBS.len());
+    let heat = Heatmap::compute(&study, &JOBS);
+    println!("{}", ascii_heatmap(&heat));
+
+    // Greedy matching: repeatedly take the unpaired job with the worst
+    // victim exposure and give it the most harmonious available partner.
+    let n = heat.len();
+    let mut free: Vec<usize> = (0..n).collect();
+    let mut bundles: Vec<(usize, usize, f64)> = Vec::new();
+    while free.len() >= 2 {
+        // Most vulnerable first.
+        free.sort_by(|&a, &b| heat.victim_score(b).total_cmp(&heat.victim_score(a)));
+        let a = free.remove(0);
+        // Partner minimizing the worse direction of the pairing.
+        let (k, &b) = free
+            .iter()
+            .enumerate()
+            .min_by(|(_, &x), (_, &y)| {
+                let cost_x = heat.cell(a, x).max(heat.cell(x, a));
+                let cost_y = heat.cell(a, y).max(heat.cell(y, a));
+                cost_x.total_cmp(&cost_y)
+            })
+            .expect("free list non-empty");
+        let cost = heat.cell(a, b).max(heat.cell(b, a));
+        free.remove(k);
+        bundles.push((a, b, cost));
+    }
+
+    println!("recommended 2-job bundles (one per 8-core node):");
+    let mut total_cost = 0.0;
+    for (a, b, cost) in &bundles {
+        let class = heat.class(*a, *b);
+        println!(
+            "  {:>13} + {:<13} worst slowdown {:.2}x  [{}]",
+            heat.names[*a],
+            heat.names[*b],
+            cost,
+            class.label()
+        );
+        total_cost += cost;
+    }
+    for &a in &free {
+        println!("  {:>13} runs alone", heat.names[a]);
+    }
+    println!("mean worst-direction slowdown: {:.2}x", total_cost / bundles.len() as f64);
+
+    // Compare with the naive pairing (queue order).
+    let mut naive = 0.0;
+    let mut naive_bad = 0;
+    for pair in JOBS.chunks(2) {
+        if let [x, y] = pair {
+            let (i, j) = (heat.index(x).unwrap(), heat.index(y).unwrap());
+            let cost = heat.cell(i, j).max(heat.cell(j, i));
+            naive += cost;
+            if !matches!(heat.class(i, j), PairClass::Harmony) {
+                naive_bad += 1;
+            }
+        }
+    }
+    println!(
+        "naive queue-order pairing: mean worst slowdown {:.2}x, {} non-Harmony bundles",
+        naive / (JOBS.len() / 2) as f64,
+        naive_bad
+    );
+}

@@ -1,0 +1,59 @@
+//! # cochar — co-running interference characterization
+//!
+//! A full reproduction, as a library, of *"Characterizing the Performance
+//! of Emerging Deep Learning, Graph, and High Performance Computing
+//! Workloads Under Interference"* (IPPS 2024): 25 workload models across
+//! five domains, a cycle-approximate multicore simulator with shared LLC +
+//! memory controller + togglable hardware prefetchers, and the paper's
+//! complete measurement methodology (solo characterization, 625-pair
+//! consolidation study, interference provenance analysis).
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`trace`] — access-slot streams and synthetic pattern generators.
+//! * [`machine`] — the simulated hardware substrate.
+//! * [`graphs`] — R-MAT graphs, CSR, algorithms, engine models.
+//! * [`workloads`] — the 25 applications + 2 mini-benchmarks (Table I).
+//! * [`colocation`] — the measurement methodology (the paper's core).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use cochar::prelude::*;
+//! use std::sync::Arc;
+//!
+//! // Small machine + workload scale so this doc-test runs in milliseconds.
+//! let cfg = MachineConfig::tiny();
+//! let registry = Arc::new(Registry::new(Scale::tiny()));
+//! let study = Study::new(cfg, registry).with_threads(1);
+//!
+//! // Solo characterization ...
+//! let solo = study.solo("G-PR");
+//! assert!(solo.profile.llc_mpki > 0.0);
+//!
+//! // ... and a co-running measurement.
+//! let pair = study.pair("G-PR", "stream");
+//! assert!(pair.fg_slowdown >= 1.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use cochar_colocation as colocation;
+pub use cochar_graphs as graphs;
+pub use cochar_machine as machine;
+pub use cochar_sched as sched;
+pub use cochar_trace as trace;
+pub use cochar_workloads as workloads;
+
+/// The most commonly used types in one import.
+pub mod prelude {
+    pub use cochar_colocation::{
+        classify, Heatmap, PairClass, PairResult, Profile, ScalabilityClass,
+        ScalabilityCurve, SoloResult, Study,
+    };
+    pub use cochar_machine::{
+        AppSpec, CoreCounters, Machine, MachineConfig, Msr, Role, RunOutcome,
+    };
+    pub use cochar_trace::{Slot, SlotStream, StreamFactory, StreamParams};
+    pub use cochar_workloads::{Domain, Registry, Scale, WorkloadSpec};
+}

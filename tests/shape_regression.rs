@@ -1,0 +1,132 @@
+//! Paper-shape regression tests on the realistic `bench` machine.
+//!
+//! Each test pins one qualitative finding of the paper that the whole
+//! suite exists to reproduce. They use a reduced work multiplier to keep
+//! the file around a minute of wall time; the assertions are on *shape*
+//! (ordering, thresholds with slack), not absolute numbers.
+
+use std::sync::{Arc, OnceLock};
+
+use cochar::prelude::*;
+
+// Build the (graph-generating) registry once for the whole file.
+static SHARED: OnceLock<Arc<Registry>> = OnceLock::new();
+
+fn study() -> Study {
+    let cfg = MachineConfig::bench();
+    let registry = SHARED
+        .get_or_init(|| {
+            let scale = Scale::for_config(&cfg).with_work(0.5);
+            Arc::new(Registry::new(scale))
+        })
+        .clone();
+    Study::new(cfg, registry)
+}
+
+#[test]
+fn harmless_backgrounds_stay_under_ten_percent() {
+    // Paper Sec. V-A: swaptions, nab, deepsjeng, blackscholes as
+    // background slow any foreground by < 10%.
+    let s = study();
+    for bg in ["swaptions", "blackscholes"] {
+        for fg in ["G-CC", "fotonik3d"] {
+            let p = s.pair(fg, bg);
+            assert!(
+                p.fg_slowdown < 1.10,
+                "{fg} under {bg}: {:.3} should be < 1.10",
+                p.fg_slowdown
+            );
+        }
+    }
+}
+
+#[test]
+fn graph_apps_are_victims_of_fotonik() {
+    // Paper: G-CC with fotonik3d ~1.98x while fotonik3d loses far less.
+    let s = study();
+    let fwd = s.pair("G-CC", "fotonik3d").fg_slowdown;
+    let rev = s.pair("fotonik3d", "G-CC").fg_slowdown;
+    assert!(fwd >= 1.5, "G-CC must be a victim: {fwd:.2}");
+    assert!(fwd > rev, "victim-offender asymmetry: {fwd:.2} vs {rev:.2}");
+    assert!(
+        matches!(classify(fwd, rev), PairClass::VictimOffender { victim_is_a: true }),
+        "classification should be Victim-Offender with G-CC the victim"
+    );
+}
+
+#[test]
+fn stream_hurts_graph_apps_far_more_than_bandit() {
+    // Paper Fig. 6: Bandit slows Gemini apps ~1.2x; Stream ~2.1x.
+    let s = study();
+    let vs_bandit = s.pair("G-PR", "bandit").fg_slowdown;
+    let vs_stream = s.pair("G-PR", "stream").fg_slowdown;
+    assert!(vs_bandit < 1.45, "bandit should be mild: {vs_bandit:.2}");
+    assert!(vs_stream > 1.6, "stream should be harsh: {vs_stream:.2}");
+    assert!(vs_stream > vs_bandit + 0.4, "gap: {vs_stream:.2} vs {vs_bandit:.2}");
+}
+
+#[test]
+fn stream_inflates_gemini_counters() {
+    // Paper Fig. 7: CPI and LL roughly double or worse; LLC MPKI rises;
+    // L2_PCP approaches the 90%+ range.
+    let s = study();
+    let solo = s.solo("G-PR");
+    let pair = s.pair("G-PR", "stream");
+    let d = pair.fg.relative_to(&solo.profile);
+    assert!(d.cpi > 1.6, "CPI ratio {:.2}", d.cpi);
+    assert!(d.ll > 1.5, "LL ratio {:.2}", d.ll);
+    assert!(d.llc_mpki > 1.2, "MPKI ratio {:.2}", d.llc_mpki);
+    assert!(pair.fg.l2_pcp > 0.85, "L2_PCP {:.2}", pair.fg.l2_pcp);
+}
+
+#[test]
+fn regular_high_bandwidth_apps_are_prefetch_sensitive() {
+    // Paper Fig. 4: fotonik3d/streamcluster slow ~1.18x without
+    // prefetchers; graph apps and mcf do not.
+    let s = study();
+    let fot = cochar::colocation::prefetcher::sensitivity(&s, "fotonik3d").slowdown;
+    let scl = cochar::colocation::prefetcher::sensitivity(&s, "streamcluster").slowdown;
+    let mcf = cochar::colocation::prefetcher::sensitivity(&s, "mcf").slowdown;
+    assert!(fot > 1.10, "fotonik3d {fot:.2}");
+    assert!(scl > 1.10, "streamcluster {scl:.2}");
+    assert!(mcf < 1.08, "mcf {mcf:.2}");
+}
+
+#[test]
+fn scalability_extremes_match_table_two() {
+    // ATIS flat, P-SSSP < 2.2x, swaptions near-linear.
+    let s = study();
+    let atis = ScalabilityCurve::compute(&s, "ATIS", 8);
+    assert!(atis.max_speedup() < 1.4, "ATIS {:.2}", atis.max_speedup());
+    assert_eq!(atis.class(), ScalabilityClass::Low);
+    let psssp = ScalabilityCurve::compute(&s, "P-SSSP", 8);
+    assert!(psssp.max_speedup() < 2.4, "P-SSSP {:.2}", psssp.max_speedup());
+    let swap = ScalabilityCurve::compute(&s, "swaptions", 8);
+    assert!(swap.max_speedup() > 6.0, "swaptions {:.2}", swap.max_speedup());
+    assert_eq!(swap.class(), ScalabilityClass::High);
+}
+
+#[test]
+fn pair_bandwidth_is_subadditive() {
+    // Paper Table III: the pair's traffic is below the sum of solos.
+    let s = study();
+    let pb = cochar::colocation::bandwidth::pair_bandwidth(&s, "IRSmk", "fotonik3d");
+    assert!(pb.pair_gbs < pb.a_solo_gbs + pb.b_solo_gbs);
+    assert!(pb.pair_gbs <= s.config().peak_bandwidth_gbs() * 1.02);
+    assert!(pb.contention_loss() > 2.0, "loss {:.1} GB/s", pb.contention_loss());
+}
+
+#[test]
+fn fotonik_barely_notices_gsssp() {
+    // Paper Table IV: fotonik3d's counters are unchanged under G-SSSP
+    // (graph apps don't degrade their co-runners) but move under IRSmk.
+    let s = study();
+    let solo = s.solo("fotonik3d");
+    let vs_graph = s.pair("fotonik3d", "G-SSSP");
+    let vs_irsmk = s.pair("fotonik3d", "IRSmk");
+    let quiet = vs_graph.fg.relative_to(&solo.profile);
+    let loud = vs_irsmk.fg.relative_to(&solo.profile);
+    assert!(quiet.time < loud.time, "{:.2} vs {:.2}", quiet.time, loud.time);
+    assert!(quiet.time < 1.35, "fotonik under G-SSSP should be mild: {:.2}", quiet.time);
+    assert!(loud.time > 1.25, "fotonik under IRSmk should hurt: {:.2}", loud.time);
+}
