@@ -1,10 +1,13 @@
-//! Criterion micro-benchmarks of the substrate: cache operations, memory
+//! Micro-benchmarks of the substrate: cache operations, memory
 //! controller, prefetchers, pattern generators, R-MAT/CSR construction,
 //! and end-to-end engine slot throughput.
+//!
+//! Hand-rolled timing harness (criterion is unavailable offline): each
+//! benchmark warms up, then reports ns/op over a fixed iteration budget.
 
+use std::hint::black_box;
 use std::sync::Arc;
-
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use std::time::Instant;
 
 use cochar_graphs::{Csr, RmatConfig};
 use cochar_machine::cache::Cache;
@@ -14,121 +17,121 @@ use cochar_machine::{AppSpec, CacheConfig, Machine, MachineConfig, Role};
 use cochar_trace::gen::{RandomAccess, Seq};
 use cochar_trace::{Lcg, Region, SlotStream, StreamParams};
 
-fn bench_cache(c: &mut Criterion) {
-    let mut g = c.benchmark_group("cache");
+/// Times `iters` calls of `f` after a short warmup; prints ns/op.
+fn bench(name: &str, iters: u64, mut f: impl FnMut()) {
+    for _ in 0..iters.min(1000) {
+        f();
+    }
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let elapsed = t0.elapsed();
+    println!(
+        "{name:<32} {:>12.1} ns/op   ({iters} iters, {:.3} s)",
+        elapsed.as_nanos() as f64 / iters as f64,
+        elapsed.as_secs_f64()
+    );
+}
+
+fn bench_cache() {
     let cfg = CacheConfig { bytes: 256 * 1024, ways: 8, latency: 10 };
 
-    g.throughput(Throughput::Elements(1));
-    g.bench_function("hit", |b| {
-        let mut cache = Cache::new(&cfg);
-        cache.insert(42, false, false);
-        b.iter(|| black_box(cache.access(black_box(42))));
+    let mut cache = Cache::new(&cfg);
+    cache.insert(42, false, false);
+    bench("cache/hit", 2_000_000, || {
+        black_box(cache.access(black_box(42)));
     });
-    g.bench_function("miss_insert_evict", |b| {
-        let mut cache = Cache::new(&cfg);
-        let mut line = 0u64;
-        b.iter(|| {
-            line = line.wrapping_add(4096 + 1);
-            black_box(cache.insert(black_box(line), false, false))
-        });
-    });
-    g.finish();
-}
 
-fn bench_memctrl(c: &mut Criterion) {
-    c.bench_function("memctrl/request_read", |b| {
-        let mut ctrl = MemoryController::new(6170, 220, 1_000_000, 2);
-        let mut now = 0u64;
-        b.iter(|| {
-            now += 7;
-            black_box(ctrl.request_read(black_box(now), 0))
-        });
+    let mut cache = Cache::new(&cfg);
+    let mut line = 0u64;
+    bench("cache/miss_insert_evict", 2_000_000, || {
+        line = line.wrapping_add(4096 + 1);
+        black_box(cache.insert(black_box(line), false, false));
     });
 }
 
-fn bench_prefetch(c: &mut Criterion) {
-    c.bench_function("prefetch/observe_sequential", |b| {
-        let mut unit = PrefetchUnit::new(Msr::all_on());
-        let mut out = Vec::with_capacity(16);
-        let mut line = 0u64;
-        b.iter(|| {
-            line += 1;
-            out.clear();
-            unit.observe(
-                &AccessObservation { pc: 1, line, l1_hit: false, l2_hit: false },
-                &mut out,
-            );
-            black_box(out.len())
-        });
+fn bench_memctrl() {
+    let mut ctrl = MemoryController::new(6170, 220, 1_000_000, 2);
+    let mut now = 0u64;
+    bench("memctrl/request_read", 1_000_000, || {
+        now += 7;
+        black_box(ctrl.request_read(black_box(now), 0));
     });
 }
 
-fn bench_generators(c: &mut Criterion) {
-    let mut g = c.benchmark_group("generators");
-    g.throughput(Throughput::Elements(1));
-    g.bench_function("seq_next_slot", |b| {
-        let a = Region::new(0, 1 << 26).array(1 << 20, 8);
-        let mut s = Seq::full(a, 2, 8, 1);
-        b.iter(|| match s.next_slot() {
-            Some(slot) => black_box(slot),
-            None => {
-                s = Seq::full(a, 2, 8, 1);
-                black_box(cochar_trace::Slot::Compute(0))
-            }
-        });
-    });
-    g.bench_function("random_next_slot", |b| {
-        let a = Region::new(0, 1 << 26).array(1 << 20, 8);
-        let mut s = RandomAccess::new(a, u64::MAX / 2, 2, 10, false, 1, 1);
-        b.iter(|| black_box(s.next_slot()));
-    });
-    g.bench_function("lcg_next", |b| {
-        let mut r = Lcg::new(1);
-        b.iter(|| black_box(r.next_u64()));
-    });
-    g.finish();
-}
-
-fn bench_graph_build(c: &mut Criterion) {
-    c.bench_function("graphs/rmat_csr_scale12", |b| {
-        b.iter(|| {
-            let csr = Csr::rmat(&RmatConfig::skewed(12, 8, black_box(7)));
-            black_box(csr.edges())
-        });
+fn bench_prefetch() {
+    let mut unit = PrefetchUnit::new(Msr::all_on());
+    let mut out = Vec::with_capacity(16);
+    let mut line = 0u64;
+    bench("prefetch/observe_sequential", 1_000_000, || {
+        line += 1;
+        out.clear();
+        unit.observe(
+            &AccessObservation { pc: 1, line, l1_hit: false, l2_hit: false },
+            &mut out,
+        );
+        black_box(out.len());
     });
 }
 
-fn bench_engine(c: &mut Criterion) {
-    let mut g = c.benchmark_group("engine");
-    g.sample_size(10);
-    g.bench_function("seq_sweep_1MiB_solo", |b| {
-        let machine = Machine::new(MachineConfig::bench());
-        b.iter(|| {
-            let app = AppSpec {
-                name: "sweep".into(),
-                factory: Arc::new(|p: &StreamParams| {
-                    let mut r = Region::new(p.base, 2 << 20);
-                    let a = r.array(128 * 1024, 8);
-                    Box::new(Seq::full(a, 1, 0, 1)) as Box<dyn SlotStream>
-                }),
-                threads: 4,
-                role: Role::Foreground,
-                base: 1 << 40,
-                seed: 1,
-            };
-            black_box(machine.run(&[app]).horizon)
-        });
+fn bench_generators() {
+    let a = Region::new(0, 1 << 26).array(1 << 20, 8);
+    let mut s = Seq::full(a, 2, 8, 1);
+    bench("generators/seq_next_slot", 2_000_000, || match s.next_slot() {
+        Some(slot) => {
+            black_box(slot);
+        }
+        None => {
+            s = Seq::full(a, 2, 8, 1);
+            black_box(cochar_trace::Slot::Compute(0));
+        }
     });
-    g.finish();
+
+    let a = Region::new(0, 1 << 26).array(1 << 20, 8);
+    let mut s = RandomAccess::new(a, u64::MAX / 2, 2, 10, false, 1, 1);
+    bench("generators/random_next_slot", 2_000_000, || {
+        black_box(s.next_slot());
+    });
+
+    let mut r = Lcg::new(1);
+    bench("generators/lcg_next", 4_000_000, || {
+        black_box(r.next_u64());
+    });
 }
 
-criterion_group!(
-    benches,
-    bench_cache,
-    bench_memctrl,
-    bench_prefetch,
-    bench_generators,
-    bench_graph_build,
-    bench_engine
-);
-criterion_main!(benches);
+fn bench_graph_build() {
+    bench("graphs/rmat_csr_scale12", 20, || {
+        let csr = Csr::rmat(&RmatConfig::skewed(12, 8, black_box(7)));
+        black_box(csr.edges());
+    });
+}
+
+fn bench_engine() {
+    let machine = Machine::new(MachineConfig::bench());
+    bench("engine/seq_sweep_1MiB_solo", 10, || {
+        let app = AppSpec {
+            name: "sweep".into(),
+            factory: Arc::new(|p: &StreamParams| {
+                let mut r = Region::new(p.base, 2 << 20);
+                let a = r.array(128 * 1024, 8);
+                Box::new(Seq::full(a, 1, 0, 1)) as Box<dyn SlotStream>
+            }),
+            threads: 4,
+            role: Role::Foreground,
+            base: 1 << 40,
+            seed: 1,
+        };
+        black_box(machine.run(&[app]).horizon);
+    });
+}
+
+fn main() {
+    println!("== micro: substrate micro-benchmarks\n");
+    bench_cache();
+    bench_memctrl();
+    bench_prefetch();
+    bench_generators();
+    bench_graph_build();
+    bench_engine();
+}

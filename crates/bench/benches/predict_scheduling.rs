@@ -1,0 +1,94 @@
+//! Predicted-matrix vs measured-matrix scheduling.
+//!
+//! The payoff question for cochar-predict: if a scheduler plans from the
+//! *predicted* N×N matrix instead of the measured one, how much bundle
+//! quality does it give up? Every policy is run from three matrices —
+//! measured (oracle), counter-signature predicted, and Bubble-Up
+//! predicted — and every resulting placement is validated by actually
+//! co-running its bundles (`simulate::validate`).
+//!
+//! Defaults to the 12-app quick subset; `COCHAR_APPS=all` for all 25.
+
+use cochar_bench::harness;
+use cochar_colocation::report::table::{f2, pct, Table};
+use cochar_colocation::Heatmap;
+use cochar_predict::{Evaluation, Predictor, PredictorConfig};
+use cochar_sched::policies::{Greedy, Naive, Optimal, Scheduler, Stable};
+use cochar_sched::{simulate, CostMatrix};
+
+fn main() {
+    harness::banner("predict-sched", "scheduling from predicted vs measured cost matrices");
+    let study = harness::study();
+    let apps = if std::env::var("COCHAR_APPS").is_err() {
+        eprintln!("note: using 12-app quick subset; COCHAR_APPS=all for all 25");
+        harness::QUICK_APPS.to_vec()
+    } else {
+        harness::apps()
+    };
+
+    let (measured_heat, heat_secs) = harness::timed(|| Heatmap::compute(&study, &apps));
+    let measured = CostMatrix::from_heatmap(&measured_heat);
+
+    let config = PredictorConfig::default();
+    let (predictor, fit_secs) =
+        harness::timed(|| Predictor::from_heatmap(&study, &measured_heat, config));
+    let predicted = predictor.predicted_matrix();
+    let bubbles = CostMatrix::predict_from_bubbles(&study, &apps);
+
+    let eval = Evaluation::of_matrix(&predicted, &measured_heat);
+    println!(
+        "matrix accuracy: MAE {:.4}, RMSE {:.4}, Spearman {:.3} \
+         ({} cells; sweep {heat_secs:.0}s, fit {fit_secs:.1}s)",
+        eval.mae, eval.rmse, eval.spearman, eval.n
+    );
+    let bubble_eval = Evaluation::of_matrix(&bubbles, &measured_heat);
+    println!(
+        "bubble baseline: MAE {:.4}, Spearman {:.3}\n",
+        bubble_eval.mae, bubble_eval.spearman
+    );
+
+    let policies: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(Naive),
+        Box::new(Greedy),
+        Box::new(Optimal),
+        Box::new(Stable::by_vulnerability()),
+    ];
+    let mut t = Table::new(vec![
+        "policy", "matrix", "planned", "validated", "plan err", "vs oracle",
+    ]);
+    for policy in &policies {
+        // Oracle: plan and validate from the measured matrix.
+        let oracle_plan = policy.schedule(&measured).validated(measured.len());
+        let oracle = simulate::validate(&study, &measured, &oracle_plan);
+        let oracle_cost = oracle.measured_mean_cost();
+        for (label, matrix) in
+            [("measured", &measured), ("predicted", &predicted), ("bubble", &bubbles)]
+        {
+            let plan = policy.schedule(matrix).validated(matrix.len());
+            let report = simulate::validate(&study, matrix, &plan);
+            let planned: f64 = if plan.bundles.is_empty() {
+                1.0
+            } else {
+                report.bundles.iter().map(|b| b.planned_cost).sum::<f64>()
+                    / report.bundles.len() as f64
+            };
+            let measured_cost = report.measured_mean_cost();
+            t.row(vec![
+                policy.name().to_string(),
+                label.to_string(),
+                f2(planned),
+                f2(measured_cost),
+                pct(report.mean_relative_error()),
+                // Regret: validated cost of this plan relative to planning
+                // with perfect information.
+                format!("{:+.1}%", (measured_cost / oracle_cost - 1.0) * 100.0),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    println!(
+        "planned = mean bundle cost the policy believed; validated = co-run truth;\n\
+         plan err = mean |planned - validated| / validated; vs oracle = validated\n\
+         cost regret against planning from the measured matrix."
+    );
+}

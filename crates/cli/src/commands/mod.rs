@@ -4,6 +4,7 @@ pub mod bubble;
 pub mod heatmap;
 pub mod list;
 pub mod pair;
+pub mod predict;
 pub mod prefetch;
 pub mod scalability;
 pub mod schedule;

@@ -1,0 +1,219 @@
+//! `cochar predict <train|evaluate|matrix> [apps...]`
+//!
+//! Counter-signature interference prediction:
+//!
+//! * `train` — measure a training heatmap, fit the degradation model,
+//!   print the learned weights and in/out-of-sample accuracy.
+//! * `evaluate` — like `train`, then report MAE / RMSE / Spearman over
+//!   the held-out pairs and the full matrix [--csv FILE].
+//! * `matrix` — fit on the first `--train-apps K` applications only
+//!   (K² pair runs), then predict the full N×N matrix for all requested
+//!   applications from solo signatures alone [--csv FILE] [--json FILE].
+//!
+//! Shared flags: `--train-frac F` (default 0.7), `--lambda L` (ridge,
+//! default 1e-3); the global `--seed` seeds the train/test shuffle.
+
+use cochar_colocation::report::csv::CsvWriter;
+use cochar_colocation::report::table::{f2, Table};
+use cochar_colocation::{Heatmap, Study};
+use cochar_predict::{Evaluation, Predictor, PredictorConfig, FEATURE_LABELS};
+use cochar_sched::CostMatrix;
+
+use crate::opts::Opts;
+
+pub fn run(study: &Study, opts: &Opts) -> Result<(), String> {
+    let sub = opts.pos(0, "predict subcommand (train|evaluate|matrix)")?.to_string();
+    let names = app_list(study, &opts.positional[1..])?;
+    let config = PredictorConfig {
+        train_frac: opts.flag_parse("train-frac", 0.7)?,
+        seed: opts.flag_parse("seed", 7)?,
+        ridge_lambda: opts.flag_parse("lambda", 1e-3)?,
+        scalability_threads: 8,
+    };
+    if !(0.0..=1.0).contains(&config.train_frac) {
+        return Err("--train-frac must be in [0, 1]".into());
+    }
+    match sub.as_str() {
+        "train" => train(study, &names, config),
+        "evaluate" => evaluate(study, &names, config, opts),
+        "matrix" => matrix(study, &names, config, opts),
+        other => Err(format!("unknown predict subcommand {other:?} (train|evaluate|matrix)")),
+    }
+}
+
+/// Resolves the positional app list; empty means every registry application.
+fn app_list<'a>(study: &'a Study, positional: &'a [String]) -> Result<Vec<&'a str>, String> {
+    if positional.is_empty() {
+        return Ok(study.registry().applications().iter().map(|s| s.name).collect());
+    }
+    let mut names = Vec::with_capacity(positional.len());
+    for n in positional {
+        if study.registry().get(n).is_none() {
+            return Err(format!("unknown application {n:?}; try `cochar list`"));
+        }
+        names.push(n.as_str());
+    }
+    Ok(names)
+}
+
+fn train(study: &Study, names: &[&str], config: PredictorConfig) -> Result<(), String> {
+    println!(
+        "measuring {}x{} training heatmap + {} solo signatures...",
+        names.len(),
+        names.len(),
+        names.len()
+    );
+    let (p, _) = Predictor::train(study, names, config);
+    println!(
+        "\nfit: {} train pairs, {} held out (train-frac {:.2}, seed {}, lambda {:e})",
+        p.split.train.len(),
+        p.split.test.len(),
+        config.train_frac,
+        config.seed,
+        config.ridge_lambda
+    );
+    let mut t = Table::new(vec!["feature", "weight"]);
+    for (label, w) in FEATURE_LABELS.iter().zip(p.model.weights.iter()) {
+        t.row(vec![label.to_string(), format!("{w:+.4}")]);
+    }
+    println!("{}", t.render());
+    report_eval("train pairs", &p.train_evaluation());
+    report_eval("held-out pairs", &p.test_evaluation());
+    Ok(())
+}
+
+fn evaluate(
+    study: &Study,
+    names: &[&str],
+    config: PredictorConfig,
+    opts: &Opts,
+) -> Result<(), String> {
+    println!(
+        "measuring {}x{} heatmap, fitting on {:.0}% of cells...",
+        names.len(),
+        names.len(),
+        config.train_frac * 100.0
+    );
+    let (p, measured) = Predictor::train(study, names, config);
+    let predicted = p.predicted_matrix();
+    report_eval("train pairs", &p.train_evaluation());
+    report_eval("held-out pairs", &p.test_evaluation());
+    let full = Evaluation::of_matrix(&predicted, &measured);
+    report_eval("full matrix", &full);
+    let baseline = baseline_mae(&measured);
+    println!(
+        "always-1.0 baseline MAE {:.4} -> model improves by {:.0}%",
+        baseline,
+        (1.0 - full.mae / baseline.max(1e-12)) * 100.0
+    );
+    crate::commands::maybe_write_csv(opts, &cells_csv(&predicted, &measured))
+}
+
+fn matrix(
+    study: &Study,
+    names: &[&str],
+    config: PredictorConfig,
+    opts: &Opts,
+) -> Result<(), String> {
+    let k: usize = opts.flag_parse("train-apps", 8.min(names.len()))?;
+    if !(2..=names.len()).contains(&k) {
+        return Err(format!("--train-apps must be in [2, {}]", names.len()));
+    }
+    let train_apps = &names[..k];
+    println!(
+        "training on {k} apps ({} pair runs); predicting {}x{} from solo signatures...",
+        k * k,
+        names.len(),
+        names.len()
+    );
+    let (p, _) = Predictor::train(study, train_apps, config);
+    let predicted = p.predict_for(study, names);
+    let mut t = Table::new(vec!["fg \\ bg worst partners", "1st", "2nd"]);
+    for (i, name) in predicted.names.iter().enumerate() {
+        let mut partners: Vec<(usize, f64)> = (0..predicted.len())
+            .filter(|&j| j != i)
+            .map(|j| (j, predicted.slow[i][j]))
+            .collect();
+        partners.sort_by(|a, b| b.1.total_cmp(&a.1));
+        let fmt = |&(j, v): &(usize, f64)| format!("{} ({})", predicted.names[j], f2(v));
+        t.row(vec![
+            name.clone(),
+            partners.first().map(fmt).unwrap_or_default(),
+            partners.get(1).map(fmt).unwrap_or_default(),
+        ]);
+    }
+    println!("{}", t.render());
+    crate::commands::maybe_write_csv(opts, &matrix_csv(&predicted))?;
+    if let Some(path) = opts.flag("json") {
+        std::fs::write(path, matrix_json(&predicted))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn report_eval(what: &str, e: &Evaluation) {
+    println!(
+        "{what}: n {}, MAE {:.4}, RMSE {:.4}, max |err| {:.3}, Spearman {:.3}",
+        e.n, e.mae, e.rmse, e.max_abs_err, e.spearman
+    );
+}
+
+fn baseline_mae(measured: &Heatmap) -> f64 {
+    let n = measured.len();
+    measured.norm.iter().flatten().map(|&v| (v - 1.0).abs()).sum::<f64>() / (n * n) as f64
+}
+
+/// CSV of predicted-vs-measured cells for external plotting.
+fn cells_csv(predicted: &CostMatrix, measured: &Heatmap) -> String {
+    let mut w = CsvWriter::new(&["fg", "bg", "predicted", "measured", "abs_err"]);
+    for i in 0..predicted.len() {
+        for j in 0..predicted.len() {
+            let (p, m) = (predicted.slow[i][j], measured.cell(i, j));
+            w.row(&[
+                predicted.names[i].clone(),
+                predicted.names[j].clone(),
+                format!("{p:.4}"),
+                format!("{m:.4}"),
+                format!("{:.4}", (p - m).abs()),
+            ]);
+        }
+    }
+    w.finish()
+}
+
+/// CSV of the predicted matrix in heatmap layout.
+fn matrix_csv(m: &CostMatrix) -> String {
+    let mut headers = vec!["fg\\bg".to_string()];
+    headers.extend(m.names.iter().cloned());
+    let mut w = CsvWriter::new(&headers);
+    for (i, name) in m.names.iter().enumerate() {
+        let mut row = vec![name.clone()];
+        row.extend(m.slow[i].iter().map(|v| format!("{v:.4}")));
+        w.row(&row);
+    }
+    w.finish()
+}
+
+/// Minimal hand-rolled JSON for the predicted matrix (no serde runtime in
+/// the offline build).
+fn matrix_json(m: &CostMatrix) -> String {
+    let names: Vec<String> = m.names.iter().map(|n| format!("\"{}\"", escape_json(n))).collect();
+    let rows: Vec<String> = m
+        .slow
+        .iter()
+        .map(|row| {
+            let cells: Vec<String> = row.iter().map(|v| format!("{v:.6}")).collect();
+            format!("    [{}]", cells.join(", "))
+        })
+        .collect();
+    format!(
+        "{{\n  \"names\": [{}],\n  \"slowdown\": [\n{}\n  ]\n}}\n",
+        names.join(", "),
+        rows.join(",\n")
+    )
+}
+
+fn escape_json(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}

@@ -44,6 +44,11 @@ commands:
                                [--predict: plan from bubble curves] [--validate]
   throttle <victim> <offender> offender-throttling trade-off [--pads 0,20,...]
   timeline <fg> <bg>           per-epoch bandwidth timeline of a co-run
+  predict train [apps...]      fit counter-signature slowdown model; show weights
+  predict evaluate [apps...]   MAE/RMSE/Spearman vs measured heatmap [--csv FILE]
+  predict matrix [apps...]     predicted NxN from solo signatures [--train-apps K]
+                               [--csv FILE] [--json FILE]
+                               (shared: --train-frac F --lambda L)
 
 global flags: --machine bench|scaled|paper   --work F   --threads N
               --trials N   --seed N
@@ -79,6 +84,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "schedule" => commands::schedule::run(&study, &opts),
         "throttle" => commands::throttle::run(&study, &opts),
         "timeline" => commands::timeline::run(&study, &opts),
+        "predict" => commands::predict::run(&study, &opts),
         other => Err(format!("unknown command {other:?}")),
     }
 }

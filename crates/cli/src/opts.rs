@@ -16,8 +16,9 @@ pub struct Opts {
 }
 
 /// Flags that take a value (everything else is a boolean switch).
-const VALUED: [&str; 9] = [
+const VALUED: [&str; 13] = [
     "machine", "work", "threads", "trials", "seed", "csv", "policy", "pads", "max-threads",
+    "train-frac", "train-apps", "lambda", "json",
 ];
 
 impl Opts {

@@ -8,26 +8,20 @@ use serde::{Deserialize, Serialize};
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Profile {
     /// Application name.
-    /// Application name.
     pub name: String,
     /// Wall time of the application in cycles.
     pub elapsed_cycles: u64,
     /// Cycles per instruction.
-    /// CPI ratio.
     pub cpi: f64,
     /// LLC misses (demand + hardware prefetch, as PCM reports) per 1000
     /// instructions.
-    /// LLC MPKI ratio.
     pub llc_mpki: f64,
     /// L2 misses per 1000 instructions.
     pub l2_mpki: f64,
     /// L2 Pending Cycle Percent, in [0, 1].
-    /// L2 pending-cycle-percent ratio.
     pub l2_pcp: f64,
     /// Average load latency from LLC/memory per L2 miss (the paper's LL),
     /// in cycles. The paper reports LL in relative units; cycles here.
-    /// LL ratio, derived as the paper does (CPI x L2_PCP), see
-    /// [`Profile::relative_to`].
     pub ll: f64,
     /// Average memory bandwidth over the app's elapsed time, GB/s.
     pub bandwidth_gbs: f64,

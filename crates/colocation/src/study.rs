@@ -8,11 +8,10 @@
 //! (the paper uses 3) with the median reported.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use cochar_machine::{AppSpec, Machine, MachineConfig, Msr, Role, RunOutcome};
 use cochar_workloads::{Registry, WorkloadSpec};
-use parking_lot::Mutex;
 
 use crate::metrics::Profile;
 
@@ -176,7 +175,7 @@ impl Study {
     /// Runs `name` alone with an explicit thread count (cached).
     pub fn solo_with_threads(&self, name: &str, threads: usize) -> Arc<SoloResult> {
         let key = (name.to_string(), threads, self.msr.raw());
-        if let Some(hit) = self.solo_cache.lock().get(&key) {
+        if let Some(hit) = self.solo_cache.lock().expect("solo cache poisoned").get(&key) {
             return hit.clone();
         }
         let spec = self.spec(name);
@@ -191,7 +190,7 @@ impl Study {
             profile: Profile::from_app(app, self.cfg.freq_ghz),
             outcome: outcome.clone(),
         });
-        self.solo_cache.lock().insert(key, result.clone());
+        self.solo_cache.lock().expect("solo cache poisoned").insert(key, result.clone());
         result
     }
 

@@ -5,8 +5,7 @@
 //! parallelize across host cores with a simple work-stealing index queue.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// Maps `f` over `items` using up to `available_parallelism` host threads,
 /// preserving order. Falls back to sequential execution for small inputs.
@@ -25,22 +24,21 @@ where
     }
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..workers {
-            s.spawn(|_| loop {
+            s.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= items.len() {
                     break;
                 }
                 let r = f(&items[i]);
-                *slots[i].lock() = Some(r);
+                *slots[i].lock().expect("sweep slot poisoned") = Some(r);
             });
         }
-    })
-    .expect("sweep worker panicked");
+    });
     slots
         .into_iter()
-        .map(|m| m.into_inner().expect("sweep slot unfilled"))
+        .map(|m| m.into_inner().expect("sweep slot poisoned").expect("sweep slot unfilled"))
         .collect()
 }
 

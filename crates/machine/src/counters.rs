@@ -121,6 +121,21 @@ impl CoreCounters {
         ratio(self.llc_hits, self.l2_misses)
     }
 
+    /// Fraction of cycles stalled on dependent-load chains, in `[0, 1]`.
+    /// High values mark latency-bound pointer chasers (mcf, the graph
+    /// engines) whose slowdown under interference tracks added latency
+    /// rather than lost bandwidth.
+    pub fn dep_stall_fraction(&self) -> f64 {
+        ratio(self.dep_stall_cycles, self.cycles)
+    }
+
+    /// Fraction of cycles stalled on MSHR capacity (the MLP limit), in
+    /// `[0, 1]`. High values mark bandwidth-bound streamers whose
+    /// degradation tracks the co-runner's traffic.
+    pub fn mlp_stall_fraction(&self) -> f64 {
+        ratio(self.mlp_stall_cycles, self.cycles)
+    }
+
     /// Fraction of issued prefetches that were touched by demand.
     pub fn prefetch_accuracy(&self) -> f64 {
         ratio(self.prefetch_useful, self.prefetch_issued)
@@ -225,6 +240,20 @@ mod tests {
         assert_eq!(c.l2_pcp(), 0.0);
         assert_eq!(c.ll(), 0.0);
         assert_eq!(c.prefetch_accuracy(), 0.0);
+        assert_eq!(c.dep_stall_fraction(), 0.0);
+        assert_eq!(c.mlp_stall_fraction(), 0.0);
+    }
+
+    #[test]
+    fn stall_fractions_are_cycle_ratios() {
+        let c = CoreCounters {
+            cycles: 1000,
+            dep_stall_cycles: 250,
+            mlp_stall_cycles: 100,
+            ..Default::default()
+        };
+        assert!((c.dep_stall_fraction() - 0.25).abs() < 1e-12);
+        assert!((c.mlp_stall_fraction() - 0.10).abs() < 1e-12);
     }
 
     #[test]

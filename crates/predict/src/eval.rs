@@ -1,0 +1,241 @@
+//! Accuracy accounting: MAE / RMSE / Spearman rank correlation of a
+//! predicted matrix against the measured heatmap, and the seeded
+//! train/test split over measured pairs.
+
+use cochar_colocation::Heatmap;
+use cochar_sched::CostMatrix;
+use serde::{Deserialize, Serialize};
+
+use crate::model::PairSample;
+
+/// Accuracy of a set of (predicted, measured) slowdown pairs.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Evaluation {
+    /// Number of pairs evaluated.
+    pub n: usize,
+    /// Mean absolute error in slowdown units (e.g. 0.08 = 8% of solo time).
+    pub mae: f64,
+    /// Root mean squared error.
+    pub rmse: f64,
+    /// Largest absolute error.
+    pub max_abs_err: f64,
+    /// Spearman rank correlation between predicted and measured cells —
+    /// what schedulers actually consume (ordering, not magnitude).
+    pub spearman: f64,
+}
+
+impl Evaluation {
+    /// Evaluates explicit (predicted, measured) observations.
+    pub fn from_observations(obs: &[(f64, f64)]) -> Evaluation {
+        if obs.is_empty() {
+            return Evaluation { n: 0, mae: 0.0, rmse: 0.0, max_abs_err: 0.0, spearman: 1.0 };
+        }
+        let n = obs.len();
+        let mut abs_sum = 0.0;
+        let mut sq_sum = 0.0;
+        let mut max_abs = 0.0f64;
+        for &(p, m) in obs {
+            let e = (p - m).abs();
+            abs_sum += e;
+            sq_sum += e * e;
+            max_abs = max_abs.max(e);
+        }
+        let pred: Vec<f64> = obs.iter().map(|o| o.0).collect();
+        let meas: Vec<f64> = obs.iter().map(|o| o.1).collect();
+        Evaluation {
+            n,
+            mae: abs_sum / n as f64,
+            rmse: (sq_sum / n as f64).sqrt(),
+            max_abs_err: max_abs,
+            spearman: spearman(&pred, &meas),
+        }
+    }
+
+    /// Evaluates a predicted matrix against the measured heatmap over all
+    /// ordered pairs (diagonal included).
+    ///
+    /// # Panics
+    /// Panics if the two matrices do not cover the same names in order.
+    pub fn of_matrix(pred: &CostMatrix, measured: &Heatmap) -> Evaluation {
+        assert_eq!(pred.names, measured.names, "matrix axes must match");
+        let mut obs = Vec::with_capacity(pred.len() * pred.len());
+        for i in 0..pred.len() {
+            for j in 0..pred.len() {
+                obs.push((pred.slow[i][j], measured.cell(i, j)));
+            }
+        }
+        Evaluation::from_observations(&obs)
+    }
+
+    /// Evaluates a predicted matrix on a subset of cells (e.g. held-out
+    /// test pairs).
+    pub fn of_samples(pred: &CostMatrix, samples: &[PairSample]) -> Evaluation {
+        let obs: Vec<(f64, f64)> =
+            samples.iter().map(|s| (pred.slow[s.fg][s.bg], s.measured)).collect();
+        Evaluation::from_observations(&obs)
+    }
+}
+
+/// Spearman rank correlation with average ranks for ties.
+pub fn spearman(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    if a.len() < 2 {
+        return 1.0;
+    }
+    pearson(&ranks(a), &ranks(b))
+}
+
+fn ranks(v: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..v.len()).collect();
+    idx.sort_by(|&i, &j| v[i].total_cmp(&v[j]));
+    let mut out = vec![0.0; v.len()];
+    let mut pos = 0;
+    while pos < idx.len() {
+        // Group ties and assign each the average rank of the group.
+        let mut end = pos + 1;
+        while end < idx.len() && v[idx[end]] == v[idx[pos]] {
+            end += 1;
+        }
+        let avg = (pos + end - 1) as f64 / 2.0;
+        for &i in &idx[pos..end] {
+            out[i] = avg;
+        }
+        pos = end;
+    }
+    out
+}
+
+fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len() as f64;
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va == 0.0 || vb == 0.0 {
+        // A constant series carries no ordering information.
+        return 0.0;
+    }
+    cov / (va.sqrt() * vb.sqrt())
+}
+
+/// A deterministic split of measured heatmap cells into train and test.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TrainSplit {
+    /// Pairs the model fits on.
+    pub train: Vec<PairSample>,
+    /// Held-out pairs for honest accuracy reporting.
+    pub test: Vec<PairSample>,
+}
+
+/// Splits all ordered cells of `measured` with a seeded Fisher-Yates
+/// shuffle: `train_frac` of them train, the rest test. The same seed and
+/// heatmap always produce the same split.
+pub fn split_pairs(measured: &Heatmap, train_frac: f64, seed: u64) -> TrainSplit {
+    assert!((0.0..=1.0).contains(&train_frac), "train_frac must be in [0, 1]");
+    let n = measured.len();
+    let mut samples: Vec<PairSample> = Vec::with_capacity(n * n);
+    for fg in 0..n {
+        for bg in 0..n {
+            samples.push(PairSample { fg, bg, measured: measured.cell(fg, bg) });
+        }
+    }
+    // SplitMix64-driven Fisher-Yates.
+    let mut state = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut next = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    for i in (1..samples.len()).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        samples.swap(i, j);
+    }
+    let cut = ((samples.len() as f64) * train_frac).round() as usize;
+    let test = samples.split_off(cut.min(samples.len()));
+    TrainSplit { train: samples, test }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spearman_detects_perfect_and_inverse_order() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let up = [10.0, 20.0, 30.0, 40.0];
+        let down = [9.0, 7.0, 5.0, 3.0];
+        assert!((spearman(&a, &up) - 1.0).abs() < 1e-12);
+        assert!((spearman(&a, &down) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_handles_ties_and_constants() {
+        let a = [1.0, 1.0, 2.0, 3.0];
+        let b = [5.0, 5.0, 6.0, 7.0];
+        assert!((spearman(&a, &b) - 1.0).abs() < 1e-12);
+        let flat = [2.0, 2.0, 2.0, 2.0];
+        assert_eq!(spearman(&a, &flat), 0.0);
+    }
+
+    #[test]
+    fn evaluation_computes_mae_and_rmse() {
+        let obs = [(1.0, 1.1), (2.0, 1.8), (1.5, 1.5)];
+        let e = Evaluation::from_observations(&obs);
+        assert_eq!(e.n, 3);
+        assert!((e.mae - (0.1 + 0.2 + 0.0) / 3.0).abs() < 1e-12);
+        assert!((e.max_abs_err - 0.2).abs() < 1e-12);
+        assert!(e.rmse >= e.mae);
+    }
+
+    fn heat3() -> Heatmap {
+        Heatmap {
+            names: vec!["a".into(), "b".into(), "c".into()],
+            norm: vec![
+                vec![1.0, 1.6, 1.1],
+                vec![1.2, 1.0, 1.7],
+                vec![1.0, 1.8, 1.05],
+            ],
+        }
+    }
+
+    #[test]
+    fn split_is_deterministic_and_partitions() {
+        let h = heat3();
+        let a = split_pairs(&h, 0.6, 42);
+        let b = split_pairs(&h, 0.6, 42);
+        assert_eq!(a.train, b.train);
+        assert_eq!(a.test, b.test);
+        assert_eq!(a.train.len() + a.test.len(), 9);
+        let c = split_pairs(&h, 0.6, 43);
+        assert_ne!(a.train, c.train, "different seeds must shuffle differently");
+    }
+
+    #[test]
+    fn split_respects_fraction_bounds() {
+        let h = heat3();
+        let all = split_pairs(&h, 1.0, 1);
+        assert_eq!(all.train.len(), 9);
+        assert!(all.test.is_empty());
+        let none = split_pairs(&h, 0.0, 1);
+        assert!(none.train.is_empty());
+        assert_eq!(none.test.len(), 9);
+    }
+
+    #[test]
+    fn of_matrix_compares_cell_by_cell() {
+        let h = heat3();
+        let perfect = CostMatrix { names: h.names.clone(), slow: h.norm.clone() };
+        let e = Evaluation::of_matrix(&perfect, &h);
+        assert_eq!(e.n, 9);
+        assert_eq!(e.mae, 0.0);
+        assert!((e.spearman - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,53 @@
+//! # cochar-predict
+//!
+//! Counter-signature interference prediction: the O(N) alternative to the
+//! paper's O(N²) consolidation sweep.
+//!
+//! The paper's Fig. 5 heatmap costs a full 625-pair ordered sweep, yet its
+//! own Sec. VI analysis shows pairwise slowdown is largely explained by a
+//! handful of *solo* counters — LLC MPKI, L2 pending-cycle percent, load
+//! latency, bandwidth class. Following the direction of hardware-counter
+//! interference predictors (Bubble-Up, and counter-signature regression à
+//! la arXiv:2410.18126), this crate:
+//!
+//! 1. extracts a [`signature::CounterSignature`] per application from solo
+//!    runs only (profile metrics, prefetch-sensitivity delta, stall
+//!    decomposition, scalability class);
+//! 2. fits a deterministic ridge regressor over pairwise feature products
+//!    — anchored by a Bubble-Up-style sensitivity × pressure term — on a
+//!    seeded training split of measured heatmap cells
+//!    ([`model::DegradationModel`]);
+//! 3. predicts the full N×N normalized-slowdown matrix and reports MAE /
+//!    Spearman rank correlation against the measured heatmap
+//!    ([`eval::Evaluation`]);
+//! 4. exports the prediction as a [`cochar_sched::CostMatrix`] so every
+//!    scheduling policy runs from predictions alone, with
+//!    `cochar_sched::simulate::validate` closing the loop.
+//!
+//! ```
+//! use cochar_predict::{Predictor, PredictorConfig};
+//! use cochar_colocation::Study;
+//! use cochar_machine::MachineConfig;
+//! use cochar_workloads::{Registry, Scale};
+//! use std::sync::Arc;
+//!
+//! let study = Study::new(MachineConfig::tiny(), Arc::new(Registry::new(Scale::tiny())))
+//!     .with_threads(1);
+//! let apps = ["stream", "swaptions", "freqmine", "bandit"];
+//! let (predictor, measured) = Predictor::train(&study, &apps, PredictorConfig::default());
+//! let predicted = predictor.predicted_matrix();
+//! let eval = cochar_predict::Evaluation::of_matrix(&predicted, &measured);
+//! assert!(eval.mae < 0.5);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod eval;
+pub mod model;
+pub mod predictor;
+pub mod signature;
+
+pub use eval::{spearman, split_pairs, Evaluation, TrainSplit};
+pub use model::{DegradationModel, FeatureNorms, PairSample, FEATURES, FEATURE_LABELS};
+pub use predictor::{Predictor, PredictorConfig};
+pub use signature::{CounterSignature, SignatureSet};

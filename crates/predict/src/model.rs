@@ -1,0 +1,302 @@
+//! The degradation model: a seeded, deterministic least-squares regressor
+//! over pairwise products of solo counter signatures.
+//!
+//! The model is a Bubble-Up-style sensitivity/pressure decomposition with
+//! a learned correction. The base term says a foreground's slowdown is its
+//! memory exposure (L2 pending-cycle percent) times the background's
+//! pressure (bandwidth demand over machine peak); the regression then
+//! weighs that term together with the raw signature features and their
+//! cross products, fit by ridge-regularized normal equations. Everything
+//! is closed-form: the same training pairs always produce bit-identical
+//! weights.
+
+use cochar_sched::CostMatrix;
+use serde::{Deserialize, Serialize};
+
+use crate::signature::{CounterSignature, SignatureSet};
+
+/// Number of features in the pairwise design vector.
+pub const FEATURES: usize = 15;
+
+/// Human-readable labels for the design vector, weight-report order.
+pub const FEATURE_LABELS: [&str; FEATURES] = [
+    "intercept",
+    "bubble(fg.l2_pcp x bg.bw)",
+    "fg.l2_pcp",
+    "fg.llc_mpki",
+    "fg.ll",
+    "fg.prefetch_delta",
+    "fg.dep_stall",
+    "fg.mlp_stall",
+    "bg.bw",
+    "bg.llc_mpki",
+    "bg.l2_mpki",
+    "fg.llc_mpki x bg.bw",
+    "fg.ll x bg.bw",
+    "fg.prefetch_delta x bg.bw",
+    "fg.bw x bg.bw",
+];
+
+/// Per-feature normalization scales (training-set maxima), so weights are
+/// comparable and the normal equations stay well-conditioned.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FeatureNorms {
+    /// Scale for MPKI-class features.
+    pub mpki: f64,
+    /// Scale for load latency.
+    pub ll: f64,
+    /// Scale for bandwidth (the machine's peak, GB/s).
+    pub bandwidth: f64,
+}
+
+impl FeatureNorms {
+    /// Norms derived from a signature set plus the machine peak bandwidth.
+    pub fn from_signatures(sigs: &SignatureSet, peak_bandwidth_gbs: f64) -> FeatureNorms {
+        let max = |f: fn(&CounterSignature) -> f64| {
+            sigs.all().iter().map(f).fold(0.0, f64::max).max(1e-9)
+        };
+        FeatureNorms {
+            mpki: max(|s| s.llc_mpki.max(s.l2_mpki)),
+            ll: max(|s| s.ll),
+            bandwidth: peak_bandwidth_gbs.max(1e-9),
+        }
+    }
+}
+
+/// Builds the pairwise design vector for (foreground, background).
+fn design(fg: &CounterSignature, bg: &CounterSignature, n: &FeatureNorms) -> [f64; FEATURES] {
+    let fg_mpki = fg.llc_mpki / n.mpki;
+    let fg_ll = fg.ll / n.ll;
+    let fg_bw = fg.bandwidth_gbs / n.bandwidth;
+    let bg_bw = bg.bandwidth_gbs / n.bandwidth;
+    let bubble = fg.l2_pcp * bg_bw;
+    [
+        1.0,
+        bubble,
+        fg.l2_pcp,
+        fg_mpki,
+        fg_ll,
+        fg.prefetch_delta,
+        fg.dep_stall,
+        fg.mlp_stall,
+        bg_bw,
+        bg.llc_mpki / n.mpki,
+        bg.l2_mpki / n.mpki,
+        fg_mpki * bg_bw,
+        fg_ll * bg_bw,
+        fg.prefetch_delta * bg_bw,
+        fg_bw * bg_bw,
+    ]
+}
+
+/// One training/evaluation observation: a measured ordered pair.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PairSample {
+    /// Foreground index into the signature set / heatmap.
+    pub fg: usize,
+    /// Background index.
+    pub bg: usize,
+    /// Measured normalized slowdown (the heatmap cell).
+    pub measured: f64,
+}
+
+/// A fitted degradation model: predicts any ordered pair's slowdown from
+/// the two solo signatures.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DegradationModel {
+    /// Learned weights over [`FEATURE_LABELS`].
+    pub weights: [f64; FEATURES],
+    /// Normalization used at fit time (must be reused at predict time).
+    pub norms: FeatureNorms,
+    /// Ridge regularization strength used in the fit.
+    pub lambda: f64,
+}
+
+impl DegradationModel {
+    /// Fits weights on measured training pairs by ridge-regularized
+    /// normal equations. Deterministic: no iteration, no randomness.
+    ///
+    /// # Panics
+    /// Panics if `train` is empty.
+    pub fn fit(
+        sigs: &SignatureSet,
+        train: &[PairSample],
+        norms: FeatureNorms,
+        lambda: f64,
+    ) -> DegradationModel {
+        assert!(!train.is_empty(), "cannot fit on zero training pairs");
+        // Accumulate X^T X and X^T y.
+        let mut xtx = [[0.0f64; FEATURES]; FEATURES];
+        let mut xty = [0.0f64; FEATURES];
+        for s in train {
+            let x = design(sigs.get(s.fg), sigs.get(s.bg), &norms);
+            for i in 0..FEATURES {
+                xty[i] += x[i] * s.measured;
+                for j in 0..FEATURES {
+                    xtx[i][j] += x[i] * x[j];
+                }
+            }
+        }
+        for (i, row) in xtx.iter_mut().enumerate() {
+            row[i] += lambda;
+        }
+        let weights = solve(xtx, xty);
+        DegradationModel { weights, norms, lambda }
+    }
+
+    /// Predicted slowdown of `fg` under `bg`, clamped to be >= 1.
+    pub fn predict(&self, fg: &CounterSignature, bg: &CounterSignature) -> f64 {
+        let x = design(fg, bg, &self.norms);
+        let raw: f64 = x.iter().zip(self.weights.iter()).map(|(a, w)| a * w).sum();
+        raw.max(1.0)
+    }
+
+    /// Predicts the full ordered N x N matrix over `sigs` — the scheduler
+    /// input, O(N) measured solo runs instead of O(N^2) pair runs.
+    pub fn predict_matrix(&self, sigs: &SignatureSet) -> CostMatrix {
+        let n = sigs.len();
+        let mut slow = vec![vec![1.0; n]; n];
+        for (i, row) in slow.iter_mut().enumerate() {
+            for (j, cell) in row.iter_mut().enumerate() {
+                *cell = self.predict(sigs.get(i), sigs.get(j));
+            }
+        }
+        CostMatrix { names: sigs.names(), slow }
+    }
+}
+
+/// Solves `a x = b` for the symmetric positive-definite ridge system by
+/// Gaussian elimination with partial pivoting.
+fn solve(mut a: [[f64; FEATURES]; FEATURES], mut b: [f64; FEATURES]) -> [f64; FEATURES] {
+    let n = FEATURES;
+    for col in 0..n {
+        // Pivot on the largest remaining magnitude for stability.
+        let pivot = (col..n)
+            .max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))
+            .unwrap();
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        let pivot_row = a[col];
+        let diag = pivot_row[col];
+        assert!(diag.abs() > 1e-12, "singular design matrix despite ridge term");
+        for row in col + 1..n {
+            let factor = a[row][col] / diag;
+            if factor == 0.0 {
+                continue;
+            }
+            for (cell, p) in a[row][col..].iter_mut().zip(&pivot_row[col..]) {
+                *cell -= factor * p;
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    let mut x = [0.0f64; FEATURES];
+    for col in (0..n).rev() {
+        let mut acc = b[col];
+        for k in col + 1..n {
+            acc -= a[col][k] * x[k];
+        }
+        x[col] = acc / a[col][col];
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cochar_colocation::ScalabilityClass;
+
+    fn sig(name: &str, l2_pcp: f64, bw: f64, mpki: f64) -> CounterSignature {
+        CounterSignature {
+            name: name.into(),
+            cpi: 1.0 + l2_pcp,
+            llc_mpki: mpki,
+            l2_mpki: mpki * 1.2,
+            l2_pcp,
+            ll: 100.0 * l2_pcp + 10.0,
+            bandwidth_gbs: bw,
+            prefetch_delta: 0.05,
+            dep_stall: 0.1,
+            mlp_stall: 0.2 * l2_pcp,
+            max_speedup: 4.0,
+            scalability: ScalabilityClass::Medium,
+        }
+    }
+
+    fn toy_world() -> (SignatureSet, Vec<PairSample>) {
+        // Ground truth: slowdown = 1 + 1.5 * fg.l2_pcp * (bg.bw / 40).
+        let sigs = SignatureSet::from_signatures(vec![
+            sig("a", 0.9, 30.0, 40.0),
+            sig("b", 0.5, 12.0, 15.0),
+            sig("c", 0.1, 2.0, 0.5),
+            sig("d", 0.7, 25.0, 30.0),
+        ]);
+        let mut samples = Vec::new();
+        for fg in 0..4 {
+            for bg in 0..4 {
+                let f = sigs.get(fg);
+                let g = sigs.get(bg);
+                let measured = 1.0 + 1.5 * f.l2_pcp * (g.bandwidth_gbs / 40.0);
+                samples.push(PairSample { fg, bg, measured });
+            }
+        }
+        (sigs, samples)
+    }
+
+    #[test]
+    fn recovers_a_bubble_shaped_ground_truth() {
+        let (sigs, samples) = toy_world();
+        let norms = FeatureNorms::from_signatures(&sigs, 40.0);
+        let model = DegradationModel::fit(&sigs, &samples, norms, 1e-6);
+        for s in &samples {
+            let p = model.predict(sigs.get(s.fg), sigs.get(s.bg));
+            assert!(
+                (p - s.measured).abs() < 0.05,
+                "pair ({}, {}): predicted {p:.3} vs measured {:.3}",
+                s.fg,
+                s.bg,
+                s.measured
+            );
+        }
+    }
+
+    #[test]
+    fn fit_is_deterministic() {
+        let (sigs, samples) = toy_world();
+        let norms = FeatureNorms::from_signatures(&sigs, 40.0);
+        let a = DegradationModel::fit(&sigs, &samples, norms.clone(), 1e-3);
+        let b = DegradationModel::fit(&sigs, &samples, norms, 1e-3);
+        assert_eq!(a.weights, b.weights);
+    }
+
+    #[test]
+    fn predictions_never_drop_below_unity() {
+        let (sigs, samples) = toy_world();
+        let norms = FeatureNorms::from_signatures(&sigs, 40.0);
+        let model = DegradationModel::fit(&sigs, &samples, norms, 1e-3);
+        let m = model.predict_matrix(&sigs);
+        for row in &m.slow {
+            for &v in row {
+                assert!(v >= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn predicted_matrix_carries_names_in_order() {
+        let (sigs, samples) = toy_world();
+        let norms = FeatureNorms::from_signatures(&sigs, 40.0);
+        let model = DegradationModel::fit(&sigs, &samples, norms, 1e-3);
+        let m = model.predict_matrix(&sigs);
+        assert_eq!(m.names, vec!["a", "b", "c", "d"]);
+        assert_eq!(m.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero training pairs")]
+    fn empty_training_set_panics() {
+        let (sigs, _) = toy_world();
+        let norms = FeatureNorms::from_signatures(&sigs, 40.0);
+        let _ = DegradationModel::fit(&sigs, &[], norms, 1e-3);
+    }
+}

@@ -1,0 +1,155 @@
+//! The high-level workflow: measure a training heatmap once, fit the
+//! model, then serve predicted cost matrices for any application set from
+//! solo runs alone.
+
+use cochar_colocation::{Heatmap, Study};
+use cochar_sched::CostMatrix;
+use serde::{Deserialize, Serialize};
+
+use crate::eval::{split_pairs, Evaluation, TrainSplit};
+use crate::model::{DegradationModel, FeatureNorms};
+use crate::signature::SignatureSet;
+
+/// Knobs for training a [`Predictor`].
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct PredictorConfig {
+    /// Fraction of measured pairs used for fitting (the rest are held
+    /// out for honest accuracy reporting).
+    pub train_frac: f64,
+    /// Seed of the train/test shuffle.
+    pub seed: u64,
+    /// Ridge regularization strength.
+    pub ridge_lambda: f64,
+    /// Thread-sweep ceiling for the scalability feature (clamped to the
+    /// machine's cores).
+    pub scalability_threads: usize,
+}
+
+impl Default for PredictorConfig {
+    fn default() -> Self {
+        PredictorConfig {
+            train_frac: 0.7,
+            seed: 7,
+            ridge_lambda: 1e-3,
+            scalability_threads: 8,
+        }
+    }
+}
+
+/// A trained counter-signature predictor plus its provenance.
+#[derive(Clone, Debug)]
+pub struct Predictor {
+    /// Signatures of the training applications (matrix axes).
+    pub signatures: SignatureSet,
+    /// The fitted degradation model.
+    pub model: DegradationModel,
+    /// The train/test split the fit used.
+    pub split: TrainSplit,
+    /// Configuration the predictor was trained with.
+    pub config: PredictorConfig,
+}
+
+impl Predictor {
+    /// Fits a predictor from an already-measured heatmap (signatures are
+    /// still extracted from solo runs by this call).
+    pub fn from_heatmap(study: &Study, measured: &Heatmap, config: PredictorConfig) -> Predictor {
+        let names: Vec<&str> = measured.names.iter().map(|s| s.as_str()).collect();
+        let signatures = SignatureSet::extract(study, &names, config.scalability_threads);
+        let split = split_pairs(measured, config.train_frac, config.seed);
+        let norms =
+            FeatureNorms::from_signatures(&signatures, study.config().peak_bandwidth_gbs());
+        let model = DegradationModel::fit(&signatures, &split.train, norms, config.ridge_lambda);
+        Predictor { signatures, model, split, config }
+    }
+
+    /// Measures the training heatmap over `names`, then fits. Returns the
+    /// heatmap too so callers can evaluate or reuse it.
+    pub fn train(study: &Study, names: &[&str], config: PredictorConfig) -> (Predictor, Heatmap) {
+        let measured = Heatmap::compute(study, names);
+        let p = Predictor::from_heatmap(study, &measured, config);
+        (p, measured)
+    }
+
+    /// The predicted cost matrix over the training applications.
+    pub fn predicted_matrix(&self) -> CostMatrix {
+        self.model.predict_matrix(&self.signatures)
+    }
+
+    /// Predicts a cost matrix for an arbitrary application set from solo
+    /// runs only — the O(N) serving path. The model was fit once; `names`
+    /// may include applications never co-run during training.
+    pub fn predict_for(&self, study: &Study, names: &[&str]) -> CostMatrix {
+        let sigs = SignatureSet::extract(study, names, self.config.scalability_threads);
+        self.model.predict_matrix(&sigs)
+    }
+
+    /// Accuracy on the held-out test pairs (empty split ⇒ perfect score).
+    pub fn test_evaluation(&self) -> Evaluation {
+        Evaluation::of_samples(&self.predicted_matrix(), &self.split.test)
+    }
+
+    /// Accuracy on the training pairs (sanity check for underfitting).
+    pub fn train_evaluation(&self) -> Evaluation {
+        Evaluation::of_samples(&self.predicted_matrix(), &self.split.train)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cochar_machine::MachineConfig;
+    use cochar_workloads::{Registry, Scale};
+    use std::sync::Arc;
+
+    fn study() -> Study {
+        Study::new(MachineConfig::tiny(), Arc::new(Registry::new(Scale::tiny())))
+            .with_threads(1)
+    }
+
+    const APPS: [&str; 5] = ["stream", "swaptions", "freqmine", "bandit", "blackscholes"];
+
+    #[test]
+    fn trains_and_beats_trivial_baseline_in_sample() {
+        let s = study();
+        let (p, measured) = Predictor::train(&s, &APPS, PredictorConfig::default());
+        let eval = Evaluation::of_matrix(&p.predicted_matrix(), &measured);
+        // Baseline: predicting 1.0 everywhere has MAE = mean(measured - 1).
+        let n = measured.len();
+        let baseline: f64 = measured
+            .norm
+            .iter()
+            .flatten()
+            .map(|&v| (v - 1.0).abs())
+            .sum::<f64>()
+            / (n * n) as f64;
+        assert!(
+            eval.mae < baseline,
+            "model MAE {:.4} must beat always-1.0 baseline {:.4}",
+            eval.mae,
+            baseline
+        );
+        assert!(eval.spearman > 0.0, "rank correlation {:.2}", eval.spearman);
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let s = study();
+        let cfg = PredictorConfig::default();
+        let (a, _) = Predictor::train(&s, &APPS, cfg);
+        let (b, _) = Predictor::train(&study(), &APPS, cfg);
+        assert_eq!(a.model.weights, b.model.weights);
+        let (ma, mb) = (a.predicted_matrix(), b.predicted_matrix());
+        assert_eq!(ma.slow, mb.slow);
+    }
+
+    #[test]
+    fn predicts_for_unseen_applications() {
+        let s = study();
+        let (p, _) = Predictor::train(&s, &["stream", "swaptions", "freqmine", "bandit"],
+            PredictorConfig::default());
+        // mcf was never co-run during training; prediction needs only its solo signature.
+        let m = p.predict_for(&s, &["mcf", "stream", "swaptions"]);
+        assert_eq!(m.names, vec!["mcf", "stream", "swaptions"]);
+        assert!(m.slow.iter().flatten().all(|&v| (1.0..10.0).contains(&v)));
+    }
+}

@@ -1,0 +1,173 @@
+//! Per-application counter signatures extracted from solo runs.
+//!
+//! A signature is the paper's Sec. VI solo profile condensed into the
+//! handful of metrics its own analysis shows explain pairwise slowdown:
+//! CPI, LLC/L2 MPKI, L2 pending-cycle percent, load latency, bandwidth
+//! demand, prefetch sensitivity, stall decomposition, and the Table II
+//! scalability class. Everything here costs O(N) solo-side runs — no
+//! pair is ever co-run to build a signature.
+
+use cochar_colocation::prefetcher;
+use cochar_colocation::sweep::parallel_map;
+use cochar_colocation::{ScalabilityClass, ScalabilityCurve, Study};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One application's solo counter signature (the predictor's input).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CounterSignature {
+    /// Application name.
+    pub name: String,
+    /// Solo cycles per instruction.
+    pub cpi: f64,
+    /// Solo LLC misses (demand + prefetch) per 1000 instructions.
+    pub llc_mpki: f64,
+    /// Solo L2 misses per 1000 instructions.
+    pub l2_mpki: f64,
+    /// Solo L2 pending-cycle percent, in [0, 1].
+    pub l2_pcp: f64,
+    /// Solo average load latency from the shared levels, cycles.
+    pub ll: f64,
+    /// Solo bandwidth demand, GB/s — the Bubble-Up pressure score.
+    pub bandwidth_gbs: f64,
+    /// Prefetch-sensitivity delta: slowdown with prefetchers disabled,
+    /// minus one (0 = insensitive).
+    pub prefetch_delta: f64,
+    /// Fraction of cycles stalled on dependent-load chains, in [0, 1].
+    pub dep_stall: f64,
+    /// Fraction of cycles stalled on MSHR capacity, in [0, 1].
+    pub mlp_stall: f64,
+    /// Peak speedup over the thread sweep (Table II's raw number).
+    pub max_speedup: f64,
+    /// Table II scalability bucket.
+    pub scalability: ScalabilityClass,
+}
+
+impl CounterSignature {
+    /// Extracts the signature from solo runs only: one solo profile, the
+    /// two prefetcher-MSR endpoints, and a thread sweep up to
+    /// `scalability_threads` (clamped to the machine's core count).
+    pub fn extract(study: &Study, name: &str, scalability_threads: usize) -> CounterSignature {
+        let solo = study.solo(name);
+        let p = &solo.profile;
+        let sens = prefetcher::sensitivity(study, name);
+        let max_threads = scalability_threads.clamp(1, study.config().cores);
+        let curve = ScalabilityCurve::compute(study, name, max_threads);
+        CounterSignature {
+            name: name.to_string(),
+            cpi: p.cpi,
+            llc_mpki: p.llc_mpki,
+            l2_mpki: p.l2_mpki,
+            l2_pcp: p.l2_pcp,
+            ll: p.ll,
+            bandwidth_gbs: p.bandwidth_gbs,
+            prefetch_delta: (sens.slowdown - 1.0).max(0.0),
+            dep_stall: p.counters.dep_stall_fraction(),
+            mlp_stall: p.counters.mlp_stall_fraction(),
+            max_speedup: curve.max_speedup(),
+            scalability: curve.class(),
+        }
+    }
+}
+
+/// An ordered collection of signatures with name lookup — the matrix axes.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SignatureSet {
+    sigs: Vec<CounterSignature>,
+    #[serde(skip)]
+    index: HashMap<String, usize>,
+}
+
+impl SignatureSet {
+    /// Extracts signatures for every name, parallelized across host cores.
+    pub fn extract(study: &Study, names: &[&str], scalability_threads: usize) -> SignatureSet {
+        let sigs =
+            parallel_map(names, |n| CounterSignature::extract(study, n, scalability_threads));
+        SignatureSet::from_signatures(sigs)
+    }
+
+    /// Wraps pre-extracted signatures.
+    pub fn from_signatures(sigs: Vec<CounterSignature>) -> SignatureSet {
+        let index = sigs.iter().enumerate().map(|(i, s)| (s.name.clone(), i)).collect();
+        SignatureSet { sigs, index }
+    }
+
+    /// Number of applications.
+    pub fn len(&self) -> usize {
+        self.sigs.len()
+    }
+
+    /// True if no signatures are present.
+    pub fn is_empty(&self) -> bool {
+        self.sigs.is_empty()
+    }
+
+    /// Signature at a matrix index.
+    pub fn get(&self, i: usize) -> &CounterSignature {
+        &self.sigs[i]
+    }
+
+    /// Signature by application name.
+    pub fn by_name(&self, name: &str) -> Option<&CounterSignature> {
+        self.index.get(name).map(|&i| &self.sigs[i])
+    }
+
+    /// All signatures in matrix order.
+    pub fn all(&self) -> &[CounterSignature] {
+        &self.sigs
+    }
+
+    /// Application names in matrix order.
+    pub fn names(&self) -> Vec<String> {
+        self.sigs.iter().map(|s| s.name.clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cochar_machine::MachineConfig;
+    use cochar_workloads::{Registry, Scale};
+    use std::sync::Arc;
+
+    fn study() -> Study {
+        Study::new(MachineConfig::tiny(), Arc::new(Registry::new(Scale::tiny())))
+            .with_threads(1)
+    }
+
+    #[test]
+    fn signature_separates_stream_from_compute() {
+        let s = study();
+        let stream = CounterSignature::extract(&s, "stream", 2);
+        let swap = CounterSignature::extract(&s, "swaptions", 2);
+        assert!(
+            stream.bandwidth_gbs > 4.0 * swap.bandwidth_gbs,
+            "stream {:.2} GB/s vs swaptions {:.2} GB/s",
+            stream.bandwidth_gbs,
+            swap.bandwidth_gbs
+        );
+        assert!(stream.l2_pcp > swap.l2_pcp);
+        assert!(stream.prefetch_delta > swap.prefetch_delta);
+    }
+
+    #[test]
+    fn signature_set_indexes_by_name() {
+        let s = study();
+        let set = SignatureSet::extract(&s, &["stream", "swaptions"], 2);
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.by_name("stream").unwrap().name, "stream");
+        assert!(set.by_name("nope").is_none());
+        assert_eq!(set.names(), vec!["stream".to_string(), "swaptions".to_string()]);
+        assert_eq!(set.get(1).name, "swaptions");
+    }
+
+    #[test]
+    fn extraction_is_deterministic() {
+        let a = CounterSignature::extract(&study(), "freqmine", 2);
+        let b = CounterSignature::extract(&study(), "freqmine", 2);
+        assert_eq!(a.cpi, b.cpi);
+        assert_eq!(a.llc_mpki, b.llc_mpki);
+        assert_eq!(a.bandwidth_gbs, b.bandwidth_gbs);
+        assert_eq!(a.max_speedup, b.max_speedup);
+    }
+}

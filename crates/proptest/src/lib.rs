@@ -1,0 +1,390 @@
+//! Offline stand-in for the real `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this workspace-local
+//! shim reimplements the combinator subset the suite's property tests
+//! actually use: range strategies over the integer primitives and `f64`,
+//! `any::<T>()`, tuple strategies, `prop::collection::vec`, `prop_map` /
+//! `prop_flat_map`, and the `proptest!` / `prop_assert!` macros.
+//!
+//! Unlike the real crate there is no shrinking and no failure persistence;
+//! cases are drawn from a SplitMix64 stream seeded from the test's name,
+//! so every run of a given test explores the same deterministic inputs.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Per-test configuration (only the case count is honoured).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each test body runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic SplitMix64 generator seeding each test's case stream.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the stream from an arbitrary label (FNV-1a over the bytes).
+    pub fn from_label(label: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in label.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw below `bound` (which must be positive).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Modulo bias is irrelevant for test-input generation.
+        self.next_u64() % bound
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A generator of test inputs: the shim's version of `proptest::Strategy`.
+pub trait Strategy {
+    /// The type of value the strategy produces.
+    type Value;
+
+    /// Draws one value from `rng`.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps produced values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Feeds produced values into a strategy-producing `f` and samples
+    /// the resulting strategy.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn sample(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u64).wrapping_sub(lo as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(rng.below(span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        self.start + (self.end - self.start) * rng.unit_f64()
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($n:ident),+)),+) => {$(
+        #[allow(non_snake_case)]
+        impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+            type Value = ($($n::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($n,)+) = self;
+                ($($n.sample(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy!((A, B), (A, B, C), (A, B, C, D));
+
+/// Marker for types `any::<T>()` can produce.
+pub trait Arbitrary {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut TestRng) -> u32 {
+        rng.next_u64() as u32
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy wrapper returned by [`any`].
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// An unconstrained value of `T` (the shim supports `u64`, `u32`, `bool`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any { _marker: std::marker::PhantomData }
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::{Range, Strategy, TestRng};
+
+    /// Length specification for [`vec`]: an exact length or a range.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    /// Strategy for vectors of values drawn from `elem`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo + if span > 1 { rng.below(span) as usize } else { 0 };
+            (0..len).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+
+    /// A vector of `size` values drawn from `elem`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { elem, size: size.into() }
+    }
+}
+
+/// The glob-import surface test files pull in.
+pub mod prelude {
+    pub use crate::{any, proptest, prop_assert, prop_assert_eq, ProptestConfig, Strategy};
+
+    /// Namespaced re-exports matching `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Assertion macro; falls back to `assert!` (no shrinking in the shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Equality assertion macro; falls back to `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Declares deterministic property tests over strategy-drawn inputs.
+///
+/// Supports the real crate's common form: an optional
+/// `#![proptest_config(...)]` header followed by `#[test]` functions whose
+/// arguments are `name in strategy` bindings.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ($cfg:expr; $( $(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::from_label(concat!(module_path!(), "::", stringify!($name)));
+                for _case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::TestRng;
+
+    #[test]
+    fn rng_is_deterministic_per_label() {
+        let mut a = TestRng::from_label("x");
+        let mut b = TestRng::from_label("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::from_label("y");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::from_label("bounds");
+        for _ in 0..1000 {
+            let v = (5u64..17).sample(&mut rng);
+            assert!((5..17).contains(&v));
+            let w = (3usize..=9).sample(&mut rng);
+            assert!((3..=9).contains(&w));
+            let f = (1.0f64..2.0).sample(&mut rng);
+            assert!((1.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_and_tuple_composition() {
+        let mut rng = TestRng::from_label("compose");
+        let s = prop::collection::vec((0u32..4, any::<bool>()), 2..6);
+        for _ in 0..100 {
+            let v = s.sample(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&(x, _)| x < 4));
+        }
+    }
+
+    #[test]
+    fn map_and_flat_map() {
+        let mut rng = TestRng::from_label("map");
+        let s = (1u64..5).prop_flat_map(|n| {
+            prop::collection::vec(0u64..10, n as usize).prop_map(move |v| (n, v))
+        });
+        for _ in 0..100 {
+            let (n, v) = s.sample(&mut rng);
+            assert_eq!(v.len(), n as usize);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_form_compiles_and_runs(x in 0u64..100, flag in any::<bool>()) {
+            prop_assert!(x < 100);
+            let bit = u64::from(flag);
+            prop_assert_eq!(bit * bit, bit);
+        }
+    }
+}

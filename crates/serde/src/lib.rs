@@ -1,0 +1,17 @@
+//! Offline stand-in for the real `serde` crate.
+//!
+//! The build environment has no crates.io access, so this workspace-local
+//! shim provides just enough surface for the suite to compile: the
+//! `Serialize` / `Deserialize` marker traits and no-op derive macros.
+//! Nothing in the suite performs actual (de)serialization — the derives
+//! exist so result types stay ready for a real serde swap-in (the shim is
+//! a drop-in path override; removing it from `[workspace.dependencies]`
+//! restores the real crate).
+
+/// No-op stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// No-op stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

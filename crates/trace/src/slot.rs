@@ -125,13 +125,21 @@ pub struct LoopingStream {
     current: Box<dyn SlotStream>,
     /// Completed executions of the inner stream (for bg progress metrics).
     iterations: u64,
+    /// The factory produced an empty stream — the thread has no work at
+    /// this scale (e.g. fewer tiles than threads), so it idles instead of
+    /// rebuilding forever.
+    idle: bool,
 }
+
+/// Instructions per idle batch of a thread whose stream is empty: models
+/// a worker spinning in its runtime with no shard assigned.
+const IDLE_BATCH: u32 = 4096;
 
 impl LoopingStream {
     /// Builds the first inner stream and loops it on exhaustion.
     pub fn new(factory: Arc<dyn StreamFactory>, params: StreamParams) -> Self {
         let current = factory.build(&params);
-        LoopingStream { factory, params, current, iterations: 0 }
+        LoopingStream { factory, params, current, iterations: 0, idle: false }
     }
 
     /// Number of times the inner stream has been restarted.
@@ -142,18 +150,28 @@ impl LoopingStream {
 
 impl SlotStream for LoopingStream {
     fn next_slot(&mut self) -> Option<Slot> {
-        loop {
-            if let Some(s) = self.current.next_slot() {
-                return Some(s);
-            }
-            self.iterations += 1;
-            // Vary the seed across restarts so randomized background
-            // patterns do not replay the exact same trace, mirroring a
-            // re-launched process.
-            let mut p = self.params;
-            p.seed = p.seed.wrapping_add(self.iterations);
-            self.current = self.factory.build(&p);
+        if self.idle {
+            return Some(Slot::Compute(IDLE_BATCH));
         }
+        if let Some(s) = self.current.next_slot() {
+            return Some(s);
+        }
+        self.iterations += 1;
+        // Vary the seed across restarts so randomized background
+        // patterns do not replay the exact same trace, mirroring a
+        // re-launched process.
+        let mut p = self.params;
+        p.seed = p.seed.wrapping_add(self.iterations);
+        self.current = self.factory.build(&p);
+        if let Some(s) = self.current.next_slot() {
+            return Some(s);
+        }
+        // The rebuilt stream is empty too: this thread has no work at the
+        // current scale. Without a fallback slot the restart loop would
+        // spin forever without advancing simulated time.
+        self.idle = true;
+        self.iterations -= 1;
+        Some(Slot::Compute(IDLE_BATCH))
     }
 }
 
@@ -263,6 +281,23 @@ mod tests {
             assert_eq!(s.next_slot(), Some(Slot::Compute(2)));
         }
         assert_eq!(s.iterations(), 9);
+    }
+
+    #[test]
+    fn looping_stream_with_empty_inner_stream_idles_instead_of_spinning() {
+        // A thread whose work share rounds to zero builds an empty stream
+        // every time; the looping wrapper must still make progress.
+        let factory: Arc<dyn StreamFactory> = Arc::new(|_p: &StreamParams| {
+            Box::new(VecStream::new(vec![])) as Box<dyn SlotStream>
+        });
+        let mut s = LoopingStream::new(factory, StreamParams::solo(0, 0));
+        for _ in 0..100 {
+            match s.next_slot() {
+                Some(Slot::Compute(n)) => assert!(n > 0),
+                other => panic!("idle background thread must yield compute slots, got {other:?}"),
+            }
+        }
+        assert_eq!(s.iterations(), 0, "empty rebuilds are not completed iterations");
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //! * [`graphs`] — R-MAT graphs, CSR, algorithms, engine models.
 //! * [`workloads`] — the 25 applications + 2 mini-benchmarks (Table I).
 //! * [`colocation`] — the measurement methodology (the paper's core).
+//! * [`predict`] — counter-signature interference prediction (O(N) solo
+//!   signatures instead of the O(N²) pair sweep).
+//! * [`sched`] — consolidation policies over measured or predicted costs.
 //!
 //! ## Quick start
 //!
@@ -41,6 +44,7 @@
 pub use cochar_colocation as colocation;
 pub use cochar_graphs as graphs;
 pub use cochar_machine as machine;
+pub use cochar_predict as predict;
 pub use cochar_sched as sched;
 pub use cochar_trace as trace;
 pub use cochar_workloads as workloads;
@@ -53,6 +57,9 @@ pub mod prelude {
     };
     pub use cochar_machine::{
         AppSpec, CoreCounters, Machine, MachineConfig, Msr, Role, RunOutcome,
+    };
+    pub use cochar_predict::{
+        CounterSignature, Evaluation, Predictor, PredictorConfig, SignatureSet,
     };
     pub use cochar_trace::{Slot, SlotStream, StreamFactory, StreamParams};
     pub use cochar_workloads::{Domain, Registry, Scale, WorkloadSpec};

@@ -1,0 +1,111 @@
+//! Acceptance tests for the cochar-predict subsystem (ISSUE acceptance
+//! criteria): deterministic training, documented accuracy thresholds vs
+//! the measured heatmap on an 8-app cross-domain subset, and a predicted
+//! cost matrix that round-trips through scheduling + validation.
+//!
+//! Runs on the `tiny` machine/scale so the 64-pair training sweep stays
+//! inside the tier-1 time budget.
+
+use std::sync::Arc;
+
+use cochar::prelude::*;
+use cochar::sched::policies::{Optimal, Scheduler};
+use cochar::sched::{simulate, CostMatrix};
+
+/// Cross-domain 8-app subset: graph, DL, PARSEC, SPEC, mini-benchmarks.
+const APPS: [&str; 8] =
+    ["G-PR", "CIFAR", "blackscholes", "freqmine", "swaptions", "mcf", "stream", "bandit"];
+
+/// Documented accuracy ceiling: full-matrix MAE in normalized-slowdown
+/// units (see DESIGN.md "cochar-predict"). The always-1.0 baseline sits
+/// well above this on the tiny machine.
+const MAE_THRESHOLD: f64 = 0.10;
+/// Documented rank-correlation floor against the measured matrix (the
+/// many exactly-1.0 harmony cells tie-compress the ranking, so this is
+/// lower than the Pearson-style fit quality suggests).
+const SPEARMAN_THRESHOLD: f64 = 0.65;
+
+fn tiny_study() -> Study {
+    Study::new(MachineConfig::tiny(), Arc::new(Registry::new(Scale::tiny()))).with_threads(1)
+}
+
+#[test]
+fn meets_documented_accuracy_thresholds_on_eight_apps() {
+    let study = tiny_study();
+    let (p, measured) = Predictor::train(&study, &APPS, PredictorConfig::default());
+    let eval = Evaluation::of_matrix(&p.predicted_matrix(), &measured);
+    assert_eq!(eval.n, APPS.len() * APPS.len());
+    assert!(
+        eval.mae < MAE_THRESHOLD,
+        "full-matrix MAE {:.4} must stay below the documented {MAE_THRESHOLD}",
+        eval.mae
+    );
+    assert!(
+        eval.spearman > SPEARMAN_THRESHOLD,
+        "Spearman {:.3} must exceed the documented {SPEARMAN_THRESHOLD}",
+        eval.spearman
+    );
+    // The held-out pairs were never seen by the fit; they must still be
+    // far better than the always-1.0 baseline on the same cells.
+    let test_eval = p.test_evaluation();
+    let baseline: f64 = p.split.test.iter().map(|s| (s.measured - 1.0).abs()).sum::<f64>()
+        / p.split.test.len() as f64;
+    assert!(
+        test_eval.mae < baseline,
+        "held-out MAE {:.4} must beat baseline {:.4}",
+        test_eval.mae,
+        baseline
+    );
+}
+
+#[test]
+fn training_is_deterministic_for_a_fixed_seed() {
+    let cfg = PredictorConfig { seed: 42, ..PredictorConfig::default() };
+    let (a, heat_a) = Predictor::train(&tiny_study(), &APPS, cfg);
+    let (b, heat_b) = Predictor::train(&tiny_study(), &APPS, cfg);
+    assert_eq!(heat_a.norm, heat_b.norm, "measurement must be deterministic");
+    assert_eq!(a.model.weights, b.model.weights, "fit must be deterministic");
+    assert_eq!(a.split.train.len(), b.split.train.len());
+    assert_eq!(a.predicted_matrix().slow, b.predicted_matrix().slow);
+    // A different shuffle seed must actually change the split.
+    let other = PredictorConfig { seed: 43, ..cfg };
+    let (c, _) = Predictor::train(&tiny_study(), &APPS, other);
+    let key = |s: &cochar::predict::PairSample| (s.fg, s.bg);
+    assert_ne!(
+        a.split.train.iter().map(key).collect::<Vec<_>>(),
+        c.split.train.iter().map(key).collect::<Vec<_>>(),
+        "seed must reshuffle the train/test split"
+    );
+}
+
+#[test]
+fn predicted_matrix_round_trips_through_optimal_scheduling() {
+    let study = tiny_study();
+    let (p, measured) = Predictor::train(&study, &APPS, PredictorConfig::default());
+    let predicted = p.predicted_matrix();
+    assert_eq!(predicted.names, measured.names);
+    assert!(predicted.slow.iter().flatten().all(|v| v.is_finite() && *v >= 1.0));
+
+    // Plan from predictions alone, then close the loop by co-running the
+    // planned bundles in the simulator.
+    let plan = Optimal.schedule(&predicted).validated(predicted.len());
+    assert_eq!(plan.bundles.len(), APPS.len() / 2);
+    let report = simulate::validate(&study, &predicted, &plan);
+    assert_eq!(report.bundles.len(), plan.bundles.len());
+    assert!(report.measured_mean_cost() >= 1.0);
+    // Prediction error per bundle stays moderate: the plan's cost
+    // estimates are within 25% of the co-run truth on average.
+    assert!(
+        report.mean_relative_error() < 0.25,
+        "plan error {:.3}",
+        report.mean_relative_error()
+    );
+
+    // The predicted plan must not be much worse than planning from the
+    // measured matrix (the oracle).
+    let oracle_plan = Optimal.schedule(&CostMatrix::from_heatmap(&measured))
+        .validated(measured.len());
+    let oracle = simulate::validate(&study, &CostMatrix::from_heatmap(&measured), &oracle_plan);
+    let regret = report.measured_mean_cost() / oracle.measured_mean_cost();
+    assert!(regret < 1.15, "predicted-plan regret {:.3}x vs oracle", regret);
+}
