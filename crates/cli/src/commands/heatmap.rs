@@ -16,7 +16,14 @@ pub fn run(study: &Study, opts: &Opts) -> Result<(), String> {
             return Err(format!("unknown application {n:?}; try `cochar list`"));
         }
     }
-    let heat = Heatmap::compute(study, &names);
+    // Progress goes to stderr (stdout stays clean for the matrix); each
+    // tick is durable progress when a --store backs the study.
+    let step = (names.len() * names.len() / 10).max(1);
+    let heat = Heatmap::compute_with_progress(study, &names, |completed, total| {
+        if completed % step == 0 || completed == total {
+            eprintln!("heatmap: {completed}/{total} cells");
+        }
+    });
     println!("{}", ascii_heatmap(&heat));
     let (h, vo, bv) = heat.class_counts();
     println!("Harmony {h}, Victim-Offender {vo}, Both-Victim {bv} (unordered pairs)");

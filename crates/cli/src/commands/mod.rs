@@ -9,6 +9,7 @@ pub mod prefetch;
 pub mod scalability;
 pub mod schedule;
 pub mod solo;
+pub mod store;
 pub mod throttle;
 pub mod timeline;
 

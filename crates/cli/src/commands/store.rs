@@ -1,0 +1,59 @@
+//! `cochar store <ls|gc|verify> --store DIR` — inspect and maintain a run
+//! store without running any simulation.
+
+use cochar_store::RunStore;
+
+use crate::opts::Opts;
+
+pub fn run(opts: &Opts) -> Result<(), String> {
+    let action = opts.pos(0, "store action (ls|gc|verify)")?;
+    let dir = opts
+        .flag("store")
+        .ok_or("store commands need --store DIR")?;
+    let store = RunStore::open(dir).map_err(|e| e.to_string())?;
+    match action {
+        "ls" => {
+            let entries = store.entries();
+            println!("{} run(s) in {}", entries.len(), store.dir().display());
+            for (key, outcome) in entries {
+                let apps: Vec<String> = outcome
+                    .apps
+                    .iter()
+                    .map(|a| format!("{}x{}", a.name, a.threads))
+                    .collect();
+                println!(
+                    "  {key}  {:>12} cycles  {}",
+                    outcome.horizon,
+                    apps.join(" + ")
+                );
+            }
+            Ok(())
+        }
+        "gc" => {
+            let (before, after) = store.gc().map_err(|e| e.to_string())?;
+            println!(
+                "gc: {} -> {} bytes ({} run(s) kept)",
+                before,
+                after,
+                store.len()
+            );
+            Ok(())
+        }
+        "verify" => {
+            let report = store.verify().map_err(|e| e.to_string())?;
+            println!(
+                "verify: {} valid, {} corrupt, {} torn, {} duplicate(s)",
+                report.valid, report.corrupt, report.torn, report.duplicates
+            );
+            // A torn tail is the expected residue of a killed sweep (the
+            // next run simply redoes that cell); interior corruption is
+            // data loss and fails the command.
+            if report.corrupt > 0 {
+                Err(format!("{} corrupt record(s); run `cochar store gc` to drop them", report.corrupt))
+            } else {
+                Ok(())
+            }
+        }
+        other => Err(format!("unknown store action {other:?} (ls|gc|verify)")),
+    }
+}

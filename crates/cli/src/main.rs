@@ -15,7 +15,8 @@
 //! ```
 //!
 //! Global flags: `--machine bench|scaled|paper`, `--work <f64>`,
-//! `--threads <n>`, `--trials <n>`, `--seed <n>`.
+//! `--threads <n>`, `--trials <n>`, `--seed <n>`, plus the run-store
+//! trio `--store <dir>`, `--resume`, `--no-cache`.
 
 mod commands;
 mod opts;
@@ -25,6 +26,7 @@ use std::sync::Arc;
 
 use cochar_colocation::Study;
 use cochar_machine::MachineConfig;
+use cochar_store::RunStore;
 use cochar_workloads::{Registry, Scale};
 
 use opts::Opts;
@@ -49,9 +51,13 @@ commands:
   predict matrix [apps...]     predicted NxN from solo signatures [--train-apps K]
                                [--csv FILE] [--json FILE]
                                (shared: --train-frac F --lambda L)
+  store ls|gc|verify           inspect or compact a run store (needs --store)
 
 global flags: --machine bench|scaled|paper   --work F   --threads N
               --trials N   --seed N
+store flags:  --store DIR   journal completed runs to DIR and reuse them
+              --resume      print what a prior (possibly killed) sweep left
+              --no-cache    simulate fresh but still journal results
 ";
 
 fn main() -> ExitCode {
@@ -72,8 +78,23 @@ fn run(args: &[String]) -> Result<(), String> {
         println!("{USAGE}");
         return Ok(());
     }
+    if opts.command == "store" {
+        // Store maintenance needs no machine or registry.
+        return commands::store::run(&opts);
+    }
     let study = build_study(&opts)?;
-    match opts.command.as_str() {
+    if opts.switch("resume") {
+        let store = study.store().expect("build_study enforces --store with --resume");
+        let report = store.replay_report();
+        println!(
+            "store: resuming from {} ({} cached run(s), {} corrupt, {} torn)",
+            store.dir().display(),
+            store.len(),
+            report.corrupt,
+            report.torn
+        );
+    }
+    let result = match opts.command.as_str() {
         "list" => commands::list::run(&study),
         "solo" => commands::solo::run(&study, &opts),
         "pair" => commands::pair::run(&study, &opts),
@@ -86,7 +107,20 @@ fn run(args: &[String]) -> Result<(), String> {
         "timeline" => commands::timeline::run(&study, &opts),
         "predict" => commands::predict::run(&study, &opts),
         other => Err(format!("unknown command {other:?}")),
+    };
+    if result.is_ok() {
+        if let Some(store) = study.store() {
+            // The one-line ledger CI greps: a fully-cached second pass
+            // must report 0 simulated.
+            let (simulated, cached) = study.run_counts();
+            println!(
+                "store: {simulated} simulated, {cached} cached ({} resident in {})",
+                store.len(),
+                store.dir().display()
+            );
+        }
     }
+    result
 }
 
 fn build_study(opts: &Opts) -> Result<Study, String> {
@@ -105,8 +139,15 @@ fn build_study(opts: &Opts) -> Result<Study, String> {
     }
     let scale = Scale::for_config(&cfg).with_work(work);
     let registry = Arc::new(Registry::new(scale));
-    Ok(Study::new(cfg, registry)
+    let mut study = Study::new(cfg, registry)
         .with_threads(threads)
         .with_trials(trials)
-        .with_seed(seed))
+        .with_seed(seed);
+    if let Some(dir) = opts.flag("store") {
+        let store = RunStore::open(dir).map_err(|e| e.to_string())?;
+        study = study.with_store(store).with_store_reads(!opts.switch("no-cache"));
+    } else if opts.switch("resume") || opts.switch("no-cache") {
+        return Err("--resume and --no-cache require --store DIR".into());
+    }
+    Ok(study)
 }

@@ -16,9 +16,9 @@ pub struct Opts {
 }
 
 /// Flags that take a value (everything else is a boolean switch).
-const VALUED: [&str; 13] = [
+const VALUED: [&str; 14] = [
     "machine", "work", "threads", "trials", "seed", "csv", "policy", "pads", "max-threads",
-    "train-frac", "train-apps", "lambda", "json",
+    "train-frac", "train-apps", "lambda", "json", "store",
 ];
 
 impl Opts {

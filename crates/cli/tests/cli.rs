@@ -83,6 +83,60 @@ fn scalability_reports_class() {
 }
 
 #[test]
+fn store_backed_heatmap_is_fully_cached_on_second_pass() {
+    let dir = std::env::temp_dir().join(format!("cochar_cli_store_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let store = dir.join("runs");
+    let store_s = store.to_str().unwrap();
+    let csv1 = dir.join("heat1.csv");
+    let csv2 = dir.join("heat2.csv");
+
+    let mut args = vec!["heatmap", "swaptions", "blackscholes", "--store", store_s];
+    args.extend(FAST);
+    let mut first = args.clone();
+    first.extend(["--csv", csv1.to_str().unwrap()]);
+    let s1 = stdout(&first);
+    assert!(
+        s1.contains("simulated, 0 cached"),
+        "first pass must simulate everything:\n{s1}"
+    );
+    assert!(!s1.contains("store: 0 simulated"), "first pass did no work:\n{s1}");
+
+    let mut second = args.clone();
+    second.extend(["--csv", csv2.to_str().unwrap(), "--resume"]);
+    let s2 = stdout(&second);
+    assert!(s2.contains("store: resuming from"), "{s2}");
+    assert!(
+        s2.contains("store: 0 simulated"),
+        "second pass must be fully cached:\n{s2}"
+    );
+    assert_eq!(
+        std::fs::read(&csv1).unwrap(),
+        std::fs::read(&csv2).unwrap(),
+        "cached heatmap CSV must be byte-identical"
+    );
+
+    // Store maintenance over the populated directory.
+    let v = stdout(&["store", "verify", "--store", store_s]);
+    assert!(v.contains("0 corrupt"), "{v}");
+    let ls = stdout(&["store", "ls", "--store", store_s]);
+    assert!(ls.contains("swaptions"), "{ls}");
+    let gc = stdout(&["store", "gc", "--store", store_s]);
+    assert!(gc.contains("kept"), "{gc}");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn resume_without_store_fails() {
+    let out = cochar(&["solo", "swaptions", "--resume"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--resume"), "{err}");
+}
+
+#[test]
 fn unknown_command_fails_with_usage() {
     let out = cochar(&["frobnicate"]);
     assert!(!out.status.success());

@@ -5,7 +5,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::classify::{classify, PairClass};
 use crate::study::Study;
-use crate::sweep::parallel_map;
+use crate::sweep::parallel_map_progress;
 
 /// An N x N matrix of normalized foreground execution times.
 /// `norm[fg][bg]` is fg's co-run time over its solo time.
@@ -21,6 +21,18 @@ impl Heatmap {
     /// Runs the full ordered-pair sweep over `names` (625 runs for the
     /// paper's 25 applications), parallelized across host cores.
     pub fn compute(study: &Study, names: &[&str]) -> Heatmap {
+        Self::compute_with_progress(study, names, |_, _| {})
+    }
+
+    /// Like [`Heatmap::compute`], calling `on_cell(completed, total)` as
+    /// each pair cell finishes. With a store-backed study every completed
+    /// cell is already journaled when its tick fires, so the progress
+    /// line doubles as a durability indicator for resumable sweeps.
+    pub fn compute_with_progress(
+        study: &Study,
+        names: &[&str],
+        on_cell: impl Fn(usize, usize) + Sync,
+    ) -> Heatmap {
         // Warm the solo cache sequentially (each entry is needed by a
         // whole row and the cache lock serializes misses anyway).
         for n in names {
@@ -29,7 +41,11 @@ impl Heatmap {
         let pairs: Vec<(usize, usize)> = (0..names.len())
             .flat_map(|i| (0..names.len()).map(move |j| (i, j)))
             .collect();
-        let cells = parallel_map(&pairs, |&(i, j)| study.pair(names[i], names[j]).fg_slowdown);
+        let cells = parallel_map_progress(
+            &pairs,
+            |&(i, j)| study.pair(names[i], names[j]).fg_slowdown,
+            on_cell,
+        );
         let n = names.len();
         let mut norm = vec![vec![0.0; n]; n];
         for (k, &(i, j)) in pairs.iter().enumerate() {

@@ -25,9 +25,11 @@ pub struct PrefetchSensitivity {
 /// Note: the study's own MSR setting is ignored; this explicitly compares
 /// the all-on and all-off endpoints as the paper does.
 pub fn sensitivity(study: &Study, name: &str) -> PrefetchSensitivity {
-    // Rebuild studies at the two MSR endpoints sharing the registry.
-    let on = study_with_msr(study, Msr::all_on());
-    let off = study_with_msr(study, Msr::all_off());
+    // Derive studies at the two MSR endpoints; they share the registry,
+    // the persistent run store, and the run counters, so endpoint solos
+    // are cached across invocations like any other run.
+    let on = study.derive_with_msr(Msr::all_on());
+    let off = study.derive_with_msr(Msr::all_off());
     let on_cycles = on.solo(name).elapsed_cycles;
     let off_cycles = off.solo(name).elapsed_cycles;
     PrefetchSensitivity {
@@ -41,7 +43,7 @@ pub fn sensitivity(study: &Study, name: &str) -> PrefetchSensitivity {
 /// Per-prefetcher breakdown: slowdown from disabling each prefetcher
 /// alone (an extension beyond the paper's all-or-nothing toggle).
 pub fn per_prefetcher_breakdown(study: &Study, name: &str) -> Vec<(&'static str, f64)> {
-    let base = study_with_msr(study, Msr::all_on()).solo(name).elapsed_cycles as f64;
+    let base = study.derive_with_msr(Msr::all_on()).solo(name).elapsed_cycles as f64;
     let cases: [(&'static str, Msr); 4] = [
         ("l2_stream_off", Msr::all_on().with_l2_stream(false)),
         ("l2_adjacent_off", Msr::all_on().with_l2_adjacent(false)),
@@ -51,22 +53,10 @@ pub fn per_prefetcher_breakdown(study: &Study, name: &str) -> Vec<(&'static str,
     cases
         .into_iter()
         .map(|(label, msr)| {
-            let t = study_with_msr(study, msr).solo(name).elapsed_cycles as f64;
+            let t = study.derive_with_msr(msr).solo(name).elapsed_cycles as f64;
             (label, t / base)
         })
         .collect()
-}
-
-fn study_with_msr(study: &Study, msr: Msr) -> Study {
-    Study::new(study.config().clone(), registry_arc(study))
-        .with_threads(study.threads())
-        .with_msr(msr)
-}
-
-fn registry_arc(study: &Study) -> std::sync::Arc<cochar_workloads::Registry> {
-    // Studies share the registry; reconstruct the Arc from the reference.
-    // (Registry is immutable after construction.)
-    study.registry_arc()
 }
 
 #[cfg(test)]

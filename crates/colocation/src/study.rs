@@ -8,9 +8,11 @@
 //! (the paper uses 3) with the median reported.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use cochar_machine::{AppSpec, Machine, MachineConfig, Msr, Role, RunOutcome};
+use cochar_machine::{AppSpec, Machine, MachineConfig, Msr, Role, RunOutcome, StableHash, StableHasher};
+use cochar_store::{RunKey, RunStore, SCHEMA_VERSION};
 use cochar_workloads::{Registry, WorkloadSpec};
 
 use crate::metrics::Profile;
@@ -50,6 +52,15 @@ pub struct PairResult {
     pub outcome: Arc<RunOutcome>,
 }
 
+/// Cumulative run counters for a study (shared with derived studies).
+#[derive(Default)]
+struct RunCounters {
+    /// Fresh `Machine::run` invocations.
+    simulated: AtomicU64,
+    /// Runs answered from the persistent store.
+    cached: AtomicU64,
+}
+
 /// A configured measurement campaign.
 pub struct Study {
     cfg: MachineConfig,
@@ -59,6 +70,9 @@ pub struct Study {
     trials: u32,
     base_seed: u64,
     solo_cache: Mutex<HashMap<(String, usize, u64), Arc<SoloResult>>>,
+    store: Option<RunStore>,
+    store_reads: bool,
+    counters: Arc<RunCounters>,
 }
 
 impl Study {
@@ -74,6 +88,28 @@ impl Study {
             trials: 1,
             base_seed: 1,
             solo_cache: Mutex::new(HashMap::new()),
+            store: None,
+            store_reads: true,
+            counters: Arc::new(RunCounters::default()),
+        }
+    }
+
+    /// A new study on the same machine, registry, protocol, store, and
+    /// run counters, with a different prefetcher MSR. Derived studies
+    /// (the MSR-endpoint comparisons of the prefetcher analysis) hit the
+    /// same persistent cache, so solo runs are shared across analyses.
+    pub fn derive_with_msr(&self, msr: Msr) -> Study {
+        Study {
+            cfg: self.cfg.clone(),
+            msr,
+            registry: self.registry.clone(),
+            threads: self.threads,
+            trials: self.trials,
+            base_seed: self.base_seed,
+            solo_cache: Mutex::new(HashMap::new()),
+            store: self.store.clone(),
+            store_reads: self.store_reads,
+            counters: Arc::clone(&self.counters),
         }
     }
 
@@ -101,6 +137,36 @@ impl Study {
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.base_seed = seed;
         self
+    }
+
+    /// Backs this study with a persistent run store: completed runs are
+    /// journaled as they finish and prior results are reused, making
+    /// sweeps crash-safe and resumable.
+    pub fn with_store(mut self, store: RunStore) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// Controls whether cached outcomes are *read* from the store
+    /// (default: true). With reads off, every run is simulated fresh but
+    /// still journaled — `--no-cache` semantics.
+    pub fn with_store_reads(mut self, reads: bool) -> Self {
+        self.store_reads = reads;
+        self
+    }
+
+    /// The persistent store backing this study, if any.
+    pub fn store(&self) -> Option<&RunStore> {
+        self.store.as_ref()
+    }
+
+    /// Cumulative `(simulated, cached)` run counts across this study and
+    /// everything derived from it.
+    pub fn run_counts(&self) -> (u64, u64) {
+        (
+            self.counters.simulated.load(Ordering::Relaxed),
+            self.counters.cached.load(Ordering::Relaxed),
+        )
     }
 
     /// The machine configuration under study.
@@ -156,15 +222,85 @@ impl Study {
         }
     }
 
+    /// The stable fingerprint of one `Machine::run`, or `None` when the
+    /// run cannot be safely keyed.
+    ///
+    /// A run is keyable only when every app spec is *registry-canonical*:
+    /// its name resolves in the registry **and** its factory is the very
+    /// `Arc` the registry holds. Derived specs (throttled variants,
+    /// bubbles, custom apps) may reuse a registry name with different
+    /// behavior, so they are conservatively excluded from the cache and
+    /// always simulated.
+    fn run_key(&self, apps: &[AppSpec]) -> Option<RunKey> {
+        for app in apps {
+            let canon = self.registry.get(&app.name)?;
+            if !Arc::ptr_eq(&canon.factory, &app.factory) {
+                return None;
+            }
+        }
+        let mut h = StableHasher::new();
+        h.write_u32(SCHEMA_VERSION);
+        self.cfg.stable_hash(&mut h);
+        self.msr.stable_hash(&mut h);
+        let sc = self.registry.scale();
+        h.write_u64(sc.llc_bytes);
+        h.write_f64(sc.work);
+        h.write_u32(sc.graph_scale);
+        h.write_u32(sc.graph_edge_factor);
+        h.write_u64(sc.seed);
+        h.write_usize(apps.len());
+        for app in apps {
+            h.write_str(&app.name);
+            app.role.stable_hash(&mut h);
+            h.write_usize(app.threads);
+            h.write_u64(app.base);
+            h.write_u64(app.seed);
+        }
+        Some(RunKey(h.finish()))
+    }
+
+    /// Executes one run, consulting and feeding the persistent store.
+    ///
+    /// Each trial is keyed and journaled individually, so a killed sweep
+    /// loses at most the runs that were in flight, and a partial
+    /// `--trials N` campaign resumes per trial rather than per cell.
+    fn run_one(&self, apps: &[AppSpec]) -> Arc<RunOutcome> {
+        let key = self.store.as_ref().and_then(|_| self.run_key(apps));
+        if let (Some(store), Some(key)) = (self.store.as_ref(), key) {
+            if self.store_reads {
+                if let Some(hit) = store.get(key) {
+                    self.counters.cached.fetch_add(1, Ordering::Relaxed);
+                    return hit;
+                }
+            }
+            let outcome = Arc::new(self.machine().run(apps));
+            self.counters.simulated.fetch_add(1, Ordering::Relaxed);
+            if let Err(e) = store.put(key, outcome.clone()) {
+                eprintln!("warning: run store append failed: {e}");
+            }
+            outcome
+        } else {
+            self.counters.simulated.fetch_add(1, Ordering::Relaxed);
+            Arc::new(self.machine().run(apps))
+        }
+    }
+
+    /// Runs `trials` seeds and returns the median-by-foreground-runtime
+    /// outcome.
+    ///
+    /// The median is a real measured element: after sorting, index
+    /// `(n - 1) / 2` — the exact middle for odd `n`, the lower middle for
+    /// even `n`. (An earlier version took `n / 2`, which for even trial
+    /// counts reported the *upper* middle, biasing even-N medians high.)
     fn median_run(&self, build: impl Fn(u64) -> Vec<AppSpec>) -> Arc<RunOutcome> {
-        let mut outcomes: Vec<RunOutcome> = (0..self.trials)
+        let mut outcomes: Vec<Arc<RunOutcome>> = (0..self.trials)
             .map(|t| {
                 let seed = self.base_seed + 1000 * u64::from(t);
-                self.machine().run(&build(seed))
+                self.run_one(&build(seed))
             })
             .collect();
         outcomes.sort_by_key(|o| o.apps[0].elapsed_cycles);
-        Arc::new(outcomes.swap_remove(outcomes.len() / 2))
+        outcomes.swap_remove((outcomes.len() - 1) / 2)
     }
 
     /// Runs `name` alone with the study's thread count (cached).

@@ -15,12 +15,41 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    parallel_map_progress(items, f, |_, _| {})
+}
+
+/// Like [`parallel_map`], but calls `on_done(completed, total)` after each
+/// item finishes (from the completing worker's thread, completion order).
+///
+/// This is the hook resumable sweeps hang progress reporting on: because
+/// a store-backed study journals every run as it completes, each
+/// `on_done` tick marks durable progress — a killed sweep restarts from
+/// roughly the last tick printed, not from zero.
+pub fn parallel_map_progress<T, R, F, P>(items: &[T], f: F, on_done: P) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+    P: Fn(usize, usize) + Sync,
+{
+    let total = items.len();
+    let done = AtomicUsize::new(0);
+    let finish_one = |r: R, slot: &mut Option<R>| {
+        *slot = Some(r);
+        on_done(done.fetch_add(1, Ordering::Relaxed) + 1, total);
+    };
     let workers = std::thread::available_parallelism()
         .map(|x| x.get())
         .unwrap_or(1)
-        .min(items.len().max(1));
-    if workers <= 1 || items.len() <= 1 {
-        return items.iter().map(&f).collect();
+        .min(total.max(1));
+    if workers <= 1 || total <= 1 {
+        let mut out = Vec::with_capacity(total);
+        for item in items {
+            let mut slot = None;
+            finish_one(f(item), &mut slot);
+            out.push(slot.expect("sweep slot unfilled"));
+        }
+        return out;
     }
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
@@ -28,11 +57,11 @@ where
         for _ in 0..workers {
             s.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
+                if i >= total {
                     break;
                 }
                 let r = f(&items[i]);
-                *slots[i].lock().expect("sweep slot poisoned") = Some(r);
+                finish_one(r, &mut slots[i].lock().expect("sweep slot poisoned"));
             });
         }
     });
@@ -64,6 +93,38 @@ mod tests {
     fn single_item() {
         let out = parallel_map(&[7], |&x| x + 1);
         assert_eq!(out, vec![8]);
+    }
+
+    #[test]
+    fn progress_ticks_once_per_item_and_reaches_total() {
+        use std::sync::atomic::AtomicUsize;
+        let max_seen = AtomicUsize::new(0);
+        let ticks = AtomicUsize::new(0);
+        let items: Vec<u64> = (0..53).collect();
+        let out = parallel_map_progress(
+            &items,
+            |&x| x + 1,
+            |completed, total| {
+                assert_eq!(total, 53);
+                assert!(completed >= 1 && completed <= total);
+                ticks.fetch_add(1, Ordering::Relaxed);
+                max_seen.fetch_max(completed, Ordering::Relaxed);
+            },
+        );
+        assert_eq!(out.len(), 53);
+        assert_eq!(ticks.load(Ordering::Relaxed), 53);
+        assert_eq!(max_seen.load(Ordering::Relaxed), 53);
+    }
+
+    #[test]
+    fn progress_sequential_path_matches() {
+        let ticks = std::sync::atomic::AtomicUsize::new(0);
+        let out = parallel_map_progress(&[9u64], |&x| x, |c, t| {
+            assert_eq!((c, t), (1, 1));
+            ticks.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(out, vec![9]);
+        assert_eq!(ticks.load(Ordering::Relaxed), 1);
     }
 
     #[test]

@@ -61,7 +61,7 @@ pub struct AppSpec {
 }
 
 /// Measured results for one application of a run.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct AppResult {
     /// Application name (copied from the spec).
     pub name: String,
@@ -96,7 +96,11 @@ impl AppResult {
 }
 
 /// Complete results of one run.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+///
+/// Derives `PartialEq` so a store round-trip can be checked for
+/// bit-identity against a fresh simulation (the resume-correctness
+/// invariant of `cochar-store`).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct RunOutcome {
     /// Per-application results, in spec order.
     pub apps: Vec<AppResult>,
@@ -517,7 +521,14 @@ impl<'a> Engine<'a> {
     fn resolve_mshr(core: &mut CoreState, mlp: u32) {
         core.prune_outstanding();
         if core.outstanding.len() >= mlp as usize {
-            let earliest = core.outstanding.iter().copied().min().unwrap();
+            // `mlp >= 1` (enforced by `MachineConfig::validate`) makes
+            // `outstanding` non-empty inside this branch, but a resumable
+            // sweep must never lose a campaign to one poisoned cell: an
+            // empty MSHR set degrades to "no stall" instead of panicking.
+            let Some(earliest) = core.outstanding.iter().copied().min() else {
+                debug_assert!(mlp == 0, "empty MSHR set despite mlp >= 1 invariant");
+                return;
+            };
             if earliest > core.time {
                 core.ctr.mlp_stall_cycles += earliest - core.time;
                 core.time = earliest;

@@ -45,6 +45,7 @@ pub mod counters;
 pub mod engine;
 pub mod memctrl;
 pub mod prefetch;
+pub mod stable;
 
 /// Cache line size in bytes (fixed across the suite).
 pub const LINE_BYTES: u64 = 64;
@@ -55,3 +56,4 @@ pub use counters::CoreCounters;
 pub use engine::{AppResult, AppSpec, Machine, Role, RunOutcome};
 pub use memctrl::{EpochTraffic, MemoryController};
 pub use prefetch::Msr;
+pub use stable::{StableHash, StableHasher};

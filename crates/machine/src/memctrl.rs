@@ -22,7 +22,7 @@ pub struct Grant {
 }
 
 /// Per-epoch, per-application traffic record.
-#[derive(Clone, Debug, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct EpochTraffic {
     /// Read bytes per application id.
     pub read_bytes: Vec<u64>,
@@ -59,6 +59,10 @@ pub struct MemoryController {
     apps: usize,
     /// Next free slot per channel, in millicycles.
     free_mc: Vec<u64>,
+    /// Line counter for address-less requests: round-robins them across
+    /// channels so `request_read`/`request_write` callers don't pile onto
+    /// channel 0 under `with_channels(>1)`.
+    rr_line: u64,
     epochs: Vec<EpochTraffic>,
     read_lines: u64,
     write_lines: u64,
@@ -91,14 +95,22 @@ impl MemoryController {
             epoch_cycles,
             apps: apps.max(1),
             free_mc: vec![0; channels as usize],
+            rr_line: 0,
             epochs: Vec::new(),
             read_lines: 0,
             write_lines: 0,
         }
     }
 
-    fn record(&mut self, start_cycle: u64, app: usize, write: bool) {
-        let epoch = (start_cycle / self.epoch_cycles) as usize;
+    /// Books one line of traffic for `app` into the epoch of the *request*
+    /// cycle. Attributing to the request epoch (not the service start)
+    /// keeps the per-epoch GB/s ledger aligned with when the application
+    /// generated the demand: under heavy queueing a service slot can land
+    /// many epochs later — even after the requesting app has finished — and
+    /// booking it there would skew `app_bytes_until` and the bandwidth
+    /// time series toward the tail of the run.
+    fn record(&mut self, request_cycle: u64, app: usize, write: bool) {
+        let epoch = (request_cycle / self.epoch_cycles) as usize;
         if epoch >= self.epochs.len() {
             self.epochs.resize_with(epoch + 1, || EpochTraffic::new(self.apps));
         }
@@ -123,32 +135,46 @@ impl MemoryController {
         start_mc / 1000
     }
 
+    /// The synthetic line used for the next address-less request: a
+    /// monotone counter, so consecutive requests interleave across all
+    /// channels instead of pinning (and starving) channel 0.
+    fn next_rr_line(&mut self) -> u64 {
+        let line = self.rr_line;
+        self.rr_line = self.rr_line.wrapping_add(1);
+        line
+    }
+
     /// A demand or prefetch read of `line` on behalf of `app`. The data
     /// is available at `Grant::completion`.
     pub fn request_read_line(&mut self, now: u64, app: usize, line: u64) -> Grant {
         let start = self.grant_slot(now, line);
         self.read_lines += 1;
-        self.record(start, app, false);
+        self.record(now, app, false);
         Grant { start, completion: start + self.dram_latency }
     }
 
-    /// Single-channel-style read (line 0); for callers without an address.
+    /// Address-less read for callers without a line address; round-robins
+    /// across channels (equivalent to line 0 on a single-channel
+    /// controller).
     pub fn request_read(&mut self, now: u64, app: usize) -> Grant {
-        self.request_read_line(now, app, 0)
+        let line = self.next_rr_line();
+        self.request_read_line(now, app, line)
     }
 
     /// A dirty-line write-back of `line` on behalf of `app`. Write-backs
     /// occupy a service slot (consuming bandwidth) but nothing waits on
     /// them.
     pub fn request_write_line(&mut self, now: u64, app: usize, line: u64) {
-        let start = self.grant_slot(now, line);
+        self.grant_slot(now, line);
         self.write_lines += 1;
-        self.record(start, app, true);
+        self.record(now, app, true);
     }
 
-    /// Single-channel-style write (line 0).
+    /// Address-less write; round-robins across channels like
+    /// [`MemoryController::request_read`].
     pub fn request_write(&mut self, now: u64, app: usize) {
-        self.request_write_line(now, app, 0)
+        let line = self.next_rr_line();
+        self.request_write_line(now, app, line)
     }
 
     /// Queueing delay for a request to `line` arriving at `now`, cycles.
@@ -297,6 +323,49 @@ mod tests {
         assert_eq!(all, 4 * LINE_BYTES);
         let half = c.app_bytes_until(0, 500);
         assert_eq!(half, 4 * LINE_BYTES / 2);
+    }
+
+    #[test]
+    fn queued_traffic_is_booked_to_the_request_epoch() {
+        // epoch = 1000 cycles, 6 cycles/line: 300 requests at cycle 0 keep
+        // the controller busy until cycle 1794 — well into epoch 1. All
+        // bytes belong to epoch 0, when the demand was generated.
+        let mut c = ctrl();
+        let mut last_start = 0;
+        for _ in 0..300 {
+            last_start = c.request_read(0, 0).start;
+        }
+        assert!(last_start > 1000, "backlog must spill past the epoch boundary");
+        assert_eq!(c.epochs().len(), 1, "no service-start spill into epoch 1");
+        assert_eq!(c.epochs()[0].read_bytes[0], 300 * LINE_BYTES);
+        // And `app_bytes_until` at the requesting app's completion sees
+        // everything it asked for.
+        assert_eq!(c.app_bytes_until(0, 1000), 300 * LINE_BYTES);
+    }
+
+    #[test]
+    fn addressless_requests_round_robin_across_channels() {
+        // 2 channels: consecutive address-less reads must alternate
+        // channels rather than pile onto channel 0.
+        let mut c = MemoryController::with_channels(6000, 200, 1000, 1, 2);
+        let g1 = c.request_read(0, 0);
+        let g2 = c.request_read(0, 0);
+        let g3 = c.request_read(0, 0);
+        assert_eq!(g1.start, 0);
+        assert_eq!(g2.start, 0, "second request must land on the idle channel");
+        assert_eq!(g3.start, 12, "third wraps to channel 0 (per-channel interval 12)");
+        // Writes share the same cursor: the 4th request lands on channel 1.
+        c.request_write(0, 0);
+        assert_eq!(c.queue_delay_line(0, 0), 24, "channel 0 holds exactly 2 lines");
+        assert_eq!(c.queue_delay_line(0, 1), 24, "channel 1 holds exactly 2 lines");
+    }
+
+    #[test]
+    fn single_channel_addressless_behavior_is_unchanged() {
+        let mut c = ctrl();
+        let g1 = c.request_read(0, 0);
+        let g2 = c.request_read(0, 0);
+        assert_eq!((g1.start, g2.start), (0, 6));
     }
 
     #[test]

@@ -1,0 +1,289 @@
+//! Canonical JSON encoding of [`RunOutcome`].
+//!
+//! The encoding is the store's contract: the journal checksum is computed
+//! over exactly this form, and the determinism test asserts that a decoded
+//! outcome is `==` to the freshly simulated one. Field order is therefore
+//! fixed, keys are short (the journal holds thousands of records), and
+//! every integer is carried as a native JSON integer (no `f64` detour), so
+//! the round trip is bit-exact.
+
+use cochar_machine::{AppResult, CoreCounters, EpochTraffic, Role, RunOutcome};
+use cochar_machine::counters::PcCounters;
+
+use crate::json::{Json, JsonError};
+
+/// Encodes a run outcome into its canonical JSON value.
+pub fn encode_outcome(o: &RunOutcome) -> Json {
+    Json::Obj(vec![
+        ("apps".into(), Json::Arr(o.apps.iter().map(encode_app).collect())),
+        ("horizon".into(), Json::u64(o.horizon)),
+        ("trunc".into(), Json::Bool(o.truncated)),
+        ("epochs".into(), Json::Arr(o.epochs.iter().map(encode_epoch).collect())),
+        ("epoch_cycles".into(), Json::u64(o.epoch_cycles)),
+        ("freq_ghz".into(), Json::f64(o.freq_ghz)),
+    ])
+}
+
+/// Decodes a canonical JSON value back into a run outcome.
+pub fn decode_outcome(v: &Json) -> Result<RunOutcome, JsonError> {
+    let apps = v
+        .field("apps")?
+        .as_arr()?
+        .iter()
+        .map(decode_app)
+        .collect::<Result<Vec<_>, _>>()?;
+    let epochs = v
+        .field("epochs")?
+        .as_arr()?
+        .iter()
+        .map(decode_epoch)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(RunOutcome {
+        apps,
+        horizon: v.field("horizon")?.as_u64()?,
+        truncated: v.field("trunc")?.as_bool()?,
+        epochs,
+        epoch_cycles: v.field("epoch_cycles")?.as_u64()?,
+        freq_ghz: v.field("freq_ghz")?.as_f64()?,
+    })
+}
+
+fn encode_app(a: &AppResult) -> Json {
+    Json::Obj(vec![
+        ("name".into(), Json::str(&a.name)),
+        (
+            "role".into(),
+            Json::str(match a.role {
+                Role::Foreground => "fg",
+                Role::Background => "bg",
+            }),
+        ),
+        ("threads".into(), Json::u64(a.threads as u64)),
+        ("elapsed".into(), Json::u64(a.elapsed_cycles)),
+        ("ctr".into(), encode_counters(&a.counters)),
+        ("per_core".into(), Json::Arr(a.per_core.iter().map(encode_counters).collect())),
+        ("bg_iters".into(), Json::u64(a.bg_iterations)),
+        ("rd".into(), Json::u64(a.read_bytes)),
+        ("wr".into(), Json::u64(a.write_bytes)),
+    ])
+}
+
+fn decode_app(v: &Json) -> Result<AppResult, JsonError> {
+    let role = match v.field("role")?.as_str()? {
+        "fg" => Role::Foreground,
+        "bg" => Role::Background,
+        other => return Err(JsonError(format!("unknown role {other:?}"))),
+    };
+    let per_core = v
+        .field("per_core")?
+        .as_arr()?
+        .iter()
+        .map(decode_counters)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(AppResult {
+        name: v.field("name")?.as_str()?.to_string(),
+        role,
+        threads: v.field("threads")?.as_u64()? as usize,
+        elapsed_cycles: v.field("elapsed")?.as_u64()?,
+        counters: decode_counters(v.field("ctr")?)?,
+        per_core,
+        bg_iterations: v.field("bg_iters")?.as_u64()?,
+        read_bytes: v.field("rd")?.as_u64()?,
+        write_bytes: v.field("wr")?.as_u64()?,
+    })
+}
+
+fn encode_counters(c: &CoreCounters) -> Json {
+    let pc = c
+        .pc_stats
+        .iter()
+        .map(|p| {
+            Json::Arr(vec![
+                Json::u64(p.pc as u64),
+                Json::u64(p.accesses),
+                Json::u64(p.l2_misses),
+                Json::u64(p.pending_cycles),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("i".into(), Json::u64(c.instructions)),
+        ("c".into(), Json::u64(c.cycles)),
+        ("ld".into(), Json::u64(c.loads)),
+        ("st".into(), Json::u64(c.stores)),
+        ("l1h".into(), Json::u64(c.l1_hits)),
+        ("l2h".into(), Json::u64(c.l2_hits)),
+        ("l2m".into(), Json::u64(c.l2_misses)),
+        ("llh".into(), Json::u64(c.llc_hits)),
+        ("llm".into(), Json::u64(c.llc_misses)),
+        ("mg".into(), Json::u64(c.inflight_merges)),
+        ("pd".into(), Json::u64(c.pending_cycles)),
+        ("pi".into(), Json::u64(c.prefetch_issued)),
+        ("pu".into(), Json::u64(c.prefetch_useful)),
+        ("pl".into(), Json::u64(c.prefetch_late)),
+        ("pt".into(), Json::u64(c.prefetch_throttled)),
+        ("ds".into(), Json::u64(c.dep_stall_cycles)),
+        ("ms".into(), Json::u64(c.mlp_stall_cycles)),
+        ("pc".into(), Json::Arr(pc)),
+    ])
+}
+
+fn decode_counters(v: &Json) -> Result<CoreCounters, JsonError> {
+    let u = |key: &str| -> Result<u64, JsonError> { v.field(key)?.as_u64() };
+    let pc_stats = v
+        .field("pc")?
+        .as_arr()?
+        .iter()
+        .map(|row| -> Result<PcCounters, JsonError> {
+            let row = row.as_arr()?;
+            if row.len() != 4 {
+                return Err(JsonError(format!("pc row has {} cells, want 4", row.len())));
+            }
+            Ok(PcCounters {
+                pc: row[0].as_u64()? as u32,
+                accesses: row[1].as_u64()?,
+                l2_misses: row[2].as_u64()?,
+                pending_cycles: row[3].as_u64()?,
+            })
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(CoreCounters {
+        instructions: u("i")?,
+        cycles: u("c")?,
+        loads: u("ld")?,
+        stores: u("st")?,
+        l1_hits: u("l1h")?,
+        l2_hits: u("l2h")?,
+        l2_misses: u("l2m")?,
+        llc_hits: u("llh")?,
+        llc_misses: u("llm")?,
+        inflight_merges: u("mg")?,
+        pending_cycles: u("pd")?,
+        prefetch_issued: u("pi")?,
+        prefetch_useful: u("pu")?,
+        prefetch_late: u("pl")?,
+        prefetch_throttled: u("pt")?,
+        dep_stall_cycles: u("ds")?,
+        mlp_stall_cycles: u("ms")?,
+        pc_stats,
+    })
+}
+
+fn encode_epoch(e: &EpochTraffic) -> Json {
+    Json::Obj(vec![
+        ("r".into(), Json::Arr(e.read_bytes.iter().map(|&b| Json::u64(b)).collect())),
+        ("w".into(), Json::Arr(e.write_bytes.iter().map(|&b| Json::u64(b)).collect())),
+    ])
+}
+
+fn decode_epoch(v: &Json) -> Result<EpochTraffic, JsonError> {
+    let vec = |key: &str| -> Result<Vec<u64>, JsonError> {
+        v.field(key)?.as_arr()?.iter().map(Json::as_u64).collect()
+    };
+    Ok(EpochTraffic { read_bytes: vec("r")?, write_bytes: vec("w")? })
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+
+    /// A fully populated outcome exercising every field of the codec.
+    pub(crate) fn sample_outcome() -> RunOutcome {
+        let counters = CoreCounters {
+            instructions: 1_000_000,
+            cycles: 2_500_000,
+            loads: 300_000,
+            stores: 100_000,
+            l1_hits: 350_000,
+            l2_hits: 30_000,
+            l2_misses: 20_000,
+            llc_hits: 12_000,
+            llc_misses: 7_000,
+            inflight_merges: 1_000,
+            pending_cycles: 1_500_000,
+            prefetch_issued: 5_000,
+            prefetch_useful: 4_000,
+            prefetch_late: 300,
+            prefetch_throttled: 20,
+            dep_stall_cycles: 400_000,
+            mlp_stall_cycles: 90_000,
+            pc_stats: vec![
+                PcCounters { pc: 3, accesses: 17, l2_misses: 5, pending_cycles: 999 },
+                PcCounters { pc: 8, accesses: 2, l2_misses: 0, pending_cycles: 0 },
+            ],
+        };
+        RunOutcome {
+            apps: vec![
+                AppResult {
+                    name: "pr.graph".into(),
+                    role: Role::Foreground,
+                    threads: 2,
+                    elapsed_cycles: u64::MAX / 3,
+                    counters: counters.clone(),
+                    per_core: vec![counters.clone(), counters.clone()],
+                    bg_iterations: 0,
+                    read_bytes: 123_456_789,
+                    write_bytes: 987_654,
+                },
+                AppResult {
+                    name: "stream \"quoted\"\n".into(),
+                    role: Role::Background,
+                    threads: 1,
+                    elapsed_cycles: 42,
+                    counters: CoreCounters::default(),
+                    per_core: vec![],
+                    bg_iterations: 7,
+                    read_bytes: 0,
+                    write_bytes: 1,
+                },
+            ],
+            horizon: 123_456_789_012,
+            truncated: true,
+            epochs: vec![
+                EpochTraffic { read_bytes: vec![64, 0], write_bytes: vec![0, 128] },
+                EpochTraffic { read_bytes: vec![], write_bytes: vec![] },
+            ],
+            epoch_cycles: 2_600_000,
+            freq_ghz: 2.7,
+        }
+    }
+
+    #[test]
+    fn outcome_round_trips_exactly() {
+        let o = sample_outcome();
+        let back = decode_outcome(&encode_outcome(&o)).unwrap();
+        assert_eq!(back, o);
+    }
+
+    #[test]
+    fn encoding_is_stable_across_calls() {
+        let o = sample_outcome();
+        assert_eq!(encode_outcome(&o).render(), encode_outcome(&o).render());
+    }
+
+    #[test]
+    fn textual_round_trip_is_canonical() {
+        let o = sample_outcome();
+        let text = encode_outcome(&o).render();
+        let reparsed = Json::parse(&text).unwrap();
+        // Re-rendering a parsed canonical document reproduces it byte for
+        // byte — the property the journal checksum relies on.
+        assert_eq!(reparsed.render(), text);
+        assert_eq!(decode_outcome(&reparsed).unwrap(), o);
+    }
+
+    #[test]
+    fn missing_field_is_a_decode_error() {
+        let o = sample_outcome();
+        let Json::Obj(mut pairs) = encode_outcome(&o) else { unreachable!() };
+        pairs.retain(|(k, _)| k != "horizon");
+        assert!(decode_outcome(&Json::Obj(pairs)).is_err());
+    }
+
+    #[test]
+    fn bad_role_is_a_decode_error() {
+        let text = encode_outcome(&sample_outcome()).render().replace("\"fg\"", "\"xx\"");
+        let v = Json::parse(&text).unwrap();
+        assert!(decode_outcome(&v).is_err());
+    }
+}

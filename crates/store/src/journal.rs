@@ -1,0 +1,275 @@
+//! The append-only run journal.
+//!
+//! One record per line:
+//!
+//! ```text
+//! {"k":"<16-hex run key>","c":"<16-hex checksum>","o":{...outcome...}}
+//! ```
+//!
+//! The checksum is FNV-1a/SplitMix64 (the same [`StableHasher`] used for
+//! run keys) over the canonical rendering of the `"o"` value. Because the
+//! codec is canonical — rendering a parsed record reproduces the original
+//! bytes — the checksum can be re-verified on replay without storing the
+//! raw payload twice.
+//!
+//! Crash model: a record is only meaningful once its full line (including
+//! the trailing `\n`) hits the file. A process killed mid-append leaves a
+//! **torn** final line, which replay drops silently; any *interior* line
+//! that fails to parse or whose checksum mismatches is **corrupt** and is
+//! reported, not trusted.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+use cochar_machine::{RunOutcome, StableHasher};
+
+use crate::codec::{decode_outcome, encode_outcome};
+use crate::json::Json;
+use crate::store::RunKey;
+use crate::StoreError;
+
+/// Journal file name inside a store directory.
+pub const JOURNAL_FILE: &str = "journal.jsonl";
+
+/// Classification tallies from replaying a journal.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReplayReport {
+    /// Records that parsed and verified.
+    pub valid: usize,
+    /// Interior lines that failed to parse or verify.
+    pub corrupt: usize,
+    /// A truncated final line (0 or 1).
+    pub torn: usize,
+    /// Valid records whose key repeated an earlier valid record.
+    pub duplicates: usize,
+}
+
+/// Renders one journal line (without the trailing newline).
+pub fn render_record(key: RunKey, outcome: &RunOutcome) -> String {
+    let payload = encode_outcome(outcome).render();
+    let sum = checksum(&payload);
+    let mut line = String::with_capacity(payload.len() + 48);
+    line.push_str("{\"k\":\"");
+    line.push_str(&key.to_hex());
+    line.push_str("\",\"c\":\"");
+    line.push_str(&format!("{sum:016x}"));
+    line.push_str("\",\"o\":");
+    line.push_str(&payload);
+    line.push('}');
+    line
+}
+
+/// Checksum over a canonical payload string.
+fn checksum(payload: &str) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_str(payload);
+    h.finish()
+}
+
+/// Parses and verifies one journal line.
+///
+/// Returns `Err` for anything that should not be trusted: syntactic
+/// failure, missing fields, checksum mismatch, or an outcome that fails to
+/// decode.
+pub fn parse_record(line: &str) -> Result<(RunKey, RunOutcome), StoreError> {
+    let v = Json::parse(line).map_err(|e| StoreError::Corrupt(e.to_string()))?;
+    let key = v
+        .field("k")
+        .and_then(|k| k.as_str().map(str::to_string))
+        .map_err(|e| StoreError::Corrupt(e.to_string()))?;
+    let key = RunKey::from_hex(&key)
+        .ok_or_else(|| StoreError::Corrupt(format!("bad key {key:?}")))?;
+    let sum = v
+        .field("c")
+        .and_then(|c| c.as_str().map(str::to_string))
+        .map_err(|e| StoreError::Corrupt(e.to_string()))?;
+    let sum = u64::from_str_radix(&sum, 16)
+        .map_err(|_| StoreError::Corrupt(format!("bad checksum {sum:?}")))?;
+    let payload = v.field("o").map_err(|e| StoreError::Corrupt(e.to_string()))?;
+    // The codec is canonical, so re-rendering the parsed payload
+    // reconstructs the exact bytes the checksum was computed over; any
+    // flipped value re-renders differently and the sums diverge.
+    if checksum(&payload.render()) != sum {
+        return Err(StoreError::Corrupt("checksum mismatch".into()));
+    }
+    let outcome = decode_outcome(payload).map_err(|e| StoreError::Corrupt(e.to_string()))?;
+    Ok((key, outcome))
+}
+
+/// An open journal: replay on open, then append-only.
+pub struct Journal {
+    path: PathBuf,
+    writer: BufWriter<File>,
+}
+
+impl Journal {
+    /// Opens (creating if absent) the journal in `dir` and replays it.
+    ///
+    /// Every valid record is handed to `on_record` in file order, so the
+    /// caller can build its index (last record wins for duplicate keys).
+    pub fn open(
+        dir: &Path,
+        mut on_record: impl FnMut(RunKey, RunOutcome) -> bool,
+    ) -> Result<(Journal, ReplayReport), StoreError> {
+        let path = dir.join(JOURNAL_FILE);
+        let mut report = ReplayReport::default();
+        if path.exists() {
+            let mut raw = Vec::new();
+            File::open(&path)?.read_to_end(&mut raw)?;
+            let complete = raw.split_last().map(|(last, _)| *last == b'\n').unwrap_or(true);
+            let lines: Vec<&[u8]> =
+                raw.split(|&b| b == b'\n').filter(|l| !l.is_empty()).collect();
+            let n = lines.len();
+            for (i, line) in lines.into_iter().enumerate() {
+                let tail = i + 1 == n && !complete;
+                let parsed = std::str::from_utf8(line)
+                    .map_err(|_| StoreError::Corrupt("non-utf8 line".into()))
+                    .and_then(parse_record);
+                match parsed {
+                    Ok((key, outcome)) => {
+                        if on_record(key, outcome) {
+                            report.valid += 1;
+                        } else {
+                            report.duplicates += 1;
+                        }
+                    }
+                    Err(_) if tail => report.torn += 1,
+                    Err(_) => report.corrupt += 1,
+                }
+            }
+        }
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok((Journal { path, writer: BufWriter::new(file) }, report))
+    }
+
+    /// Appends one record and flushes it to the OS.
+    ///
+    /// The flush bounds crash loss to the record currently being written:
+    /// everything previously appended survives a kill.
+    pub fn append(&mut self, key: RunKey, outcome: &RunOutcome) -> Result<(), StoreError> {
+        let mut line = render_record(key, outcome);
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Rewrites the journal to contain exactly `records`, atomically.
+    ///
+    /// Used by `gc`: the compacted content is written to a temp file in
+    /// the same directory and renamed over the journal, so a crash during
+    /// compaction leaves either the old or the new journal, never a mix.
+    pub fn rewrite<'a>(
+        &mut self,
+        records: impl Iterator<Item = (RunKey, &'a RunOutcome)>,
+    ) -> Result<(), StoreError> {
+        let tmp = self.path.with_extension("jsonl.tmp");
+        {
+            let mut w = BufWriter::new(File::create(&tmp)?);
+            for (key, outcome) in records {
+                let mut line = render_record(key, outcome);
+                line.push('\n');
+                w.write_all(line.as_bytes())?;
+            }
+            w.flush()?;
+            w.get_ref().sync_all()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        // The old append handle points at the unlinked inode; reopen.
+        let file = OpenOptions::new().create(true).append(true).open(&self.path)?;
+        self.writer = BufWriter::new(file);
+        Ok(())
+    }
+
+    /// Size of the journal file in bytes.
+    pub fn file_bytes(&self) -> Result<u64, StoreError> {
+        Ok(std::fs::metadata(&self.path)?.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::tests::sample_outcome;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cochar-journal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn record_round_trips() {
+        let o = sample_outcome();
+        let line = render_record(RunKey(0xdead_beef_0123_4567), &o);
+        let (key, back) = parse_record(&line).unwrap();
+        assert_eq!(key, RunKey(0xdead_beef_0123_4567));
+        assert_eq!(back, o);
+    }
+
+    #[test]
+    fn flipped_value_fails_checksum() {
+        let o = sample_outcome();
+        let line = render_record(RunKey(1), &o);
+        // Corrupt the horizon value without breaking JSON syntax.
+        let bad = line.replace("\"horizon\":123456789012", "\"horizon\":123456789013");
+        assert_ne!(bad, line, "replacement must hit");
+        match parse_record(&bad) {
+            Err(StoreError::Corrupt(msg)) => assert!(msg.contains("checksum"), "{msg}"),
+            other => panic!("expected checksum failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_and_interior_corruption_reported() {
+        let dir = tmpdir("torn");
+        let o = sample_outcome();
+        {
+            let (mut j, _) = Journal::open(&dir, |_, _| true).unwrap();
+            j.append(RunKey(1), &o).unwrap();
+            j.append(RunKey(2), &o).unwrap();
+            j.append(RunKey(3), &o).unwrap();
+        }
+        // Corrupt record 2 in place and tear record 3 in half.
+        let path = dir.join(JOURNAL_FILE);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        let mangled = lines[1].replace("\"horizon\":123456789012", "\"horizon\":999999999999");
+        let torn = &lines[2][..lines[2].len() / 2];
+        std::fs::write(&path, format!("{}\n{}\n{}", lines[0], mangled, torn)).unwrap();
+
+        let mut seen = Vec::new();
+        let (_, report) = Journal::open(&dir, |k, _| {
+            seen.push(k);
+            true
+        })
+        .unwrap();
+        assert_eq!(seen, vec![RunKey(1)]);
+        assert_eq!(report, ReplayReport { valid: 1, corrupt: 1, torn: 1, duplicates: 0 });
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rewrite_compacts_and_stays_appendable() {
+        let dir = tmpdir("rewrite");
+        let o = sample_outcome();
+        let (mut j, _) = Journal::open(&dir, |_, _| true).unwrap();
+        j.append(RunKey(1), &o).unwrap();
+        j.append(RunKey(1), &o).unwrap();
+        j.append(RunKey(2), &o).unwrap();
+        j.rewrite([(RunKey(1), &o), (RunKey(2), &o)].into_iter()).unwrap();
+        j.append(RunKey(3), &o).unwrap();
+
+        let mut seen = Vec::new();
+        let (_, report) = Journal::open(&dir, |k, _| {
+            seen.push(k);
+            true
+        })
+        .unwrap();
+        assert_eq!(seen, vec![RunKey(1), RunKey(2), RunKey(3)]);
+        assert_eq!(report.corrupt, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
