@@ -28,6 +28,12 @@ pub fn run(study: &Study, opts: &Opts) -> Result<(), String> {
     if pair.truncated {
         println!("warning: run hit the cycle cap before the foreground finished");
     }
+    if pair.stalled {
+        println!(
+            "warning: run stalled (no instruction retired for the watchdog window); \
+             the measurement above is poisoned"
+        );
+    }
     let rev = study.pair(bg, fg);
     println!(
         "reverse direction ({bg} fg): {:.2}x  =>  relationship: {}",

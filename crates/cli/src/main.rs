@@ -16,7 +16,19 @@
 //!
 //! Global flags: `--machine bench|scaled|paper`, `--work <f64>`,
 //! `--threads <n>`, `--trials <n>`, `--seed <n>`, plus the run-store
-//! trio `--store <dir>`, `--resume`, `--no-cache`.
+//! trio `--store <dir>`, `--resume`, `--no-cache`, and the sweep
+//! supervisor's `--max-retries <n>` / `--keep-going` / `--fail-fast`.
+//!
+//! Exit codes: 0 success; 1 usage or fatal error; 2 the sweep completed
+//! but some cells failed (holes in the output); 3 the run store degraded
+//! to cache-less operation mid-sweep (results are complete but were not
+//! all persisted — takes precedence over 2).
+//!
+//! Fault injection for end-to-end tests (inert unless set):
+//! `COCHAR_CHAOS_CELL="fg/bg[@N]"` panics that heatmap cell until attempt
+//! `N` (default: always), and `COCHAR_CHAOS_STORE="<plan>"` arms journal
+//! append faults (`enospc@2`, `short@1:20`, `flip@0:13`, `kill@3:7`,
+//! `transient@1`, comma-separated).
 
 mod commands;
 mod opts;
@@ -58,12 +70,18 @@ global flags: --machine bench|scaled|paper   --work F   --threads N
 store flags:  --store DIR   journal completed runs to DIR and reuse them
               --resume      print what a prior (possibly killed) sweep left
               --no-cache    simulate fresh but still journal results
+sweep flags:  --max-retries N  retry failed cells up to N times (reseeded)
+              --keep-going     failed cells become holes; sweep continues (default)
+              --fail-fast      stop claiming new cells after the first failure
+
+exit codes: 0 ok; 1 error; 2 sweep completed with failed cells;
+            3 run store degraded to cache-less operation (wins over 2)
 ";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!("\n{USAGE}");
@@ -72,15 +90,15 @@ fn main() -> ExitCode {
     }
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<ExitCode, String> {
     let opts = Opts::parse(args)?;
     if opts.command.is_empty() || opts.command == "help" {
         println!("{USAGE}");
-        return Ok(());
+        return Ok(ExitCode::SUCCESS);
     }
     if opts.command == "store" {
         // Store maintenance needs no machine or registry.
-        return commands::store::run(&opts);
+        return commands::store::run(&opts).map(|()| ExitCode::SUCCESS);
     }
     let study = build_study(&opts)?;
     if opts.switch("resume") {
@@ -94,11 +112,12 @@ fn run(args: &[String]) -> Result<(), String> {
             report.torn
         );
     }
+    let mut failed_cells = 0usize;
     let result = match opts.command.as_str() {
         "list" => commands::list::run(&study),
         "solo" => commands::solo::run(&study, &opts),
         "pair" => commands::pair::run(&study, &opts),
-        "heatmap" => commands::heatmap::run(&study, &opts),
+        "heatmap" => commands::heatmap::run(&study, &opts).map(|failed| failed_cells = failed),
         "scalability" => commands::scalability::run(&study, &opts),
         "prefetch" => commands::prefetch::run(&study, &opts),
         "bubble" => commands::bubble::run(&study, &opts),
@@ -120,7 +139,19 @@ fn run(args: &[String]) -> Result<(), String> {
             );
         }
     }
-    result
+    result.map(|()| {
+        // Degradation wins: an unpersisted sweep is the bigger surprise
+        // for whoever plans to resume it.
+        if study.store_degraded() {
+            eprintln!("exit: run store degraded mid-sweep (code 3)");
+            ExitCode::from(3)
+        } else if failed_cells > 0 {
+            eprintln!("exit: {failed_cells} cell(s) failed (code 2)");
+            ExitCode::from(2)
+        } else {
+            ExitCode::SUCCESS
+        }
+    })
 }
 
 fn build_study(opts: &Opts) -> Result<Study, String> {
@@ -144,10 +175,41 @@ fn build_study(opts: &Opts) -> Result<Study, String> {
         .with_trials(trials)
         .with_seed(seed);
     if let Some(dir) = opts.flag("store") {
-        let store = RunStore::open(dir).map_err(|e| e.to_string())?;
+        let store = match std::env::var("COCHAR_CHAOS_STORE") {
+            Ok(plan) => {
+                let plan = cochar_store::FaultPlan::parse(&plan)
+                    .map_err(|e| format!("COCHAR_CHAOS_STORE: {e}"))?;
+                eprintln!("chaos: store fault plan armed");
+                RunStore::open_with_faults(dir, plan)
+            }
+            Err(_) => RunStore::open(dir),
+        }
+        .map_err(|e| e.to_string())?;
         study = study.with_store(store).with_store_reads(!opts.switch("no-cache"));
     } else if opts.switch("resume") || opts.switch("no-cache") {
         return Err("--resume and --no-cache require --store DIR".into());
     }
+    if let Ok(cell) = std::env::var("COCHAR_CHAOS_CELL") {
+        study = arm_chaos_cell(study, &cell)?;
+    }
     Ok(study)
+}
+
+/// Parses `COCHAR_CHAOS_CELL="fg/bg[@N]"`: the named pair cell panics on
+/// attempts below `N` (omitted `N` means the cell always panics).
+fn arm_chaos_cell(study: Study, spec: &str) -> Result<Study, String> {
+    let (pair, succeed_from) = match spec.split_once('@') {
+        Some((pair, n)) => {
+            let n: u32 = n
+                .parse()
+                .map_err(|_| format!("COCHAR_CHAOS_CELL: bad attempt threshold {n:?}"))?;
+            (pair, n)
+        }
+        None => (spec, u32::MAX),
+    };
+    let (fg, bg) = pair
+        .split_once('/')
+        .ok_or_else(|| format!("COCHAR_CHAOS_CELL: expected fg/bg[@N], got {spec:?}"))?;
+    eprintln!("chaos: cell {fg}/{bg} armed (succeeds from attempt {succeed_from})");
+    Ok(study.with_chaos_cell(fg, bg, succeed_from))
 }

@@ -16,9 +16,9 @@ pub struct Opts {
 }
 
 /// Flags that take a value (everything else is a boolean switch).
-const VALUED: [&str; 14] = [
+const VALUED: [&str; 15] = [
     "machine", "work", "threads", "trials", "seed", "csv", "policy", "pads", "max-threads",
-    "train-frac", "train-apps", "lambda", "json", "store",
+    "train-frac", "train-apps", "lambda", "json", "store", "max-retries",
 ];
 
 impl Opts {

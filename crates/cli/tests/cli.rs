@@ -9,6 +9,17 @@ fn cochar(args: &[&str]) -> std::process::Output {
         .expect("binary runs")
 }
 
+/// Like [`cochar`] but with chaos environment variables set for this
+/// invocation only (the test process itself stays clean).
+fn cochar_env(args: &[&str], envs: &[(&str, &str)]) -> std::process::Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_cochar"));
+    cmd.args(args);
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    cmd.output().expect("binary runs")
+}
+
 fn stdout(args: &[&str]) -> String {
     let out = cochar(args);
     assert!(
@@ -126,6 +137,114 @@ fn store_backed_heatmap_is_fully_cached_on_second_pass() {
     assert!(gc.contains("kept"), "{gc}");
 
     std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn chaos_sweep_degrades_then_resumes_byte_identically() {
+    // The acceptance scenario for the fault-tolerant supervisor: one
+    // panicking cell plus a persistently failing store append must still
+    // complete every other cell, report the hole, exit with the degraded
+    // code, and — once the faults are gone — reproduce the clean CSV
+    // byte for byte.
+    let dir = std::env::temp_dir().join(format!("cochar_cli_chaos_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let store = dir.join("runs");
+    let store_s = store.to_str().unwrap();
+
+    // Reference: a never-faulted, store-less sweep.
+    let reference_csv = dir.join("reference.csv");
+    let mut reference = vec!["heatmap", "swaptions", "blackscholes"];
+    reference.extend(FAST);
+    reference.extend(["--csv", reference_csv.to_str().unwrap()]);
+    stdout(&reference);
+
+    // Faulted sweep: the swaptions/blackscholes cell always panics and
+    // the very first journal append hits ENOSPC (persistent).
+    let faulted_csv = dir.join("faulted.csv");
+    let mut faulted = vec!["heatmap", "swaptions", "blackscholes", "--store", store_s];
+    faulted.extend(FAST);
+    faulted.extend(["--csv", faulted_csv.to_str().unwrap()]);
+    let out = cochar_env(
+        &faulted,
+        &[
+            ("COCHAR_CHAOS_CELL", "swaptions/blackscholes"),
+            ("COCHAR_CHAOS_STORE", "enospc@0"),
+        ],
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(3), "degraded store must win the exit code:\n{err}");
+    assert!(err.contains("degraded"), "stderr should explain the degradation:\n{err}");
+    let hole = std::fs::read_to_string(&faulted_csv).unwrap();
+    assert!(hole.contains("NaN"), "failed cell must be a NaN hole:\n{hole}");
+    let report = std::fs::read_to_string(store.join("failures.jsonl")).unwrap();
+    assert!(
+        report.contains("swaptions/blackscholes"),
+        "failure report must name the cell:\n{report}"
+    );
+
+    // Faults removed: the rerun over the same (empty) store completes
+    // cleanly and matches the reference exactly.
+    let resumed_csv = dir.join("resumed.csv");
+    let mut resumed = vec!["heatmap", "swaptions", "blackscholes", "--store", store_s];
+    resumed.extend(FAST);
+    resumed.extend(["--csv", resumed_csv.to_str().unwrap()]);
+    stdout(&resumed);
+    assert_eq!(
+        std::fs::read(&resumed_csv).unwrap(),
+        std::fs::read(&reference_csv).unwrap(),
+        "post-fault rerun must be byte-identical to the clean reference"
+    );
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn panicking_cell_yields_exit_code_2_and_a_failure_report() {
+    let dir = std::env::temp_dir().join(format!("cochar_cli_exit2_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let store = dir.join("runs");
+
+    let mut args = vec!["heatmap", "swaptions", "blackscholes", "--store", store.to_str().unwrap()];
+    args.extend(FAST);
+    let out = cochar_env(&args, &[("COCHAR_CHAOS_CELL", "swaptions/blackscholes")]);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "failed cells without store trouble exit 2:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let s = String::from_utf8_lossy(&out.stdout);
+    assert!(s.contains("failed 1 cells"), "ledger must count the hole:\n{s}");
+    assert!(store.join("failures.jsonl").exists(), "report lands next to the journal");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn max_retries_recovers_a_flaky_chaos_cell() {
+    // The cell panics on attempt 0 and succeeds from attempt 1; one
+    // retry turns the sweep into a clean exit with no holes.
+    let mut args = vec!["heatmap", "swaptions", "blackscholes", "--max-retries", "1"];
+    args.extend(FAST);
+    let out = cochar_env(&args, &[("COCHAR_CHAOS_CELL", "swaptions/blackscholes@1")]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "retried cell must recover:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let s = String::from_utf8_lossy(&out.stdout);
+    assert!(s.contains("failed 0 cells"), "{s}");
+}
+
+#[test]
+fn keep_going_and_fail_fast_are_mutually_exclusive() {
+    let out = cochar(&["heatmap", "swaptions", "blackscholes", "--keep-going", "--fail-fast"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("mutually exclusive"), "{err}");
 }
 
 #[test]

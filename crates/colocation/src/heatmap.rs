@@ -5,7 +5,28 @@ use serde::{Deserialize, Serialize};
 
 use crate::classify::{classify, PairClass};
 use crate::study::Study;
-use crate::sweep::parallel_map_progress;
+use crate::sweep::{supervised_map, CellFailure, SweepPolicy};
+
+/// Measurement quality of one heatmap cell.
+///
+/// Anything other than `Ok` means the cell's value must not be trusted as
+/// a slowdown: `Truncated` and `Stalled` carry a (lower-bound / poisoned)
+/// number, `Failed` cells hold NaN.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CellStatus {
+    /// The measurement completed normally.
+    #[default]
+    Ok,
+    /// The co-run hit the cycle cap before the foreground finished; the
+    /// recorded slowdown is a lower bound.
+    Truncated,
+    /// The forward-progress watchdog fired; the recorded value is
+    /// meaningless.
+    Stalled,
+    /// The cell's simulation panicked through all its attempts; the value
+    /// is NaN.
+    Failed,
+}
 
 /// An N x N matrix of normalized foreground execution times.
 /// `norm[fg][bg]` is fg's co-run time over its solo time.
@@ -13,11 +34,20 @@ use crate::sweep::parallel_map_progress;
 pub struct Heatmap {
     /// Application names (row/column order).
     pub names: Vec<String>,
-    /// Normalized foreground times: `norm[fg][bg]`.
+    /// Normalized foreground times: `norm[fg][bg]`. Failed cells are NaN.
     pub norm: Vec<Vec<f64>>,
+    /// Measurement quality of each cell, same shape as `norm`.
+    pub status: Vec<Vec<CellStatus>>,
 }
 
 impl Heatmap {
+    /// Builds a heatmap from values alone, marking every cell `Ok`
+    /// (test fixtures, precomputed matrices).
+    pub fn from_norm(names: Vec<String>, norm: Vec<Vec<f64>>) -> Heatmap {
+        let status = norm.iter().map(|row| vec![CellStatus::Ok; row.len()]).collect();
+        Heatmap { names, norm, status }
+    }
+
     /// Runs the full ordered-pair sweep over `names` (625 runs for the
     /// paper's 25 applications), parallelized across host cores.
     pub fn compute(study: &Study, names: &[&str]) -> Heatmap {
@@ -28,30 +58,85 @@ impl Heatmap {
     /// each pair cell finishes. With a store-backed study every completed
     /// cell is already journaled when its tick fires, so the progress
     /// line doubles as a durability indicator for resumable sweeps.
+    ///
+    /// Any cell failure is fatal (after the sweep settles); use
+    /// [`Heatmap::compute_supervised`] to keep going past failed cells.
     pub fn compute_with_progress(
         study: &Study,
         names: &[&str],
         on_cell: impl Fn(usize, usize) + Sync,
     ) -> Heatmap {
+        let (map, failures) =
+            Self::compute_supervised(study, names, SweepPolicy::default(), on_cell);
+        if let Some(f) = failures.first() {
+            panic!(
+                "heatmap cell {} failed after {} attempt(s): {}",
+                f.spec, f.attempts, f.cause
+            );
+        }
+        map
+    }
+
+    /// The fault-tolerant sweep: cells run under panic isolation with
+    /// `policy`'s retry budget, failed cells become NaN holes marked
+    /// [`CellStatus::Failed`], and the failures come back as data.
+    ///
+    /// With `policy.keep_going` unset, the first failure also skips every
+    /// cell not yet claimed (those are reported as failures too).
+    pub fn compute_supervised(
+        study: &Study,
+        names: &[&str],
+        policy: SweepPolicy,
+        on_cell: impl Fn(usize, usize) + Sync,
+    ) -> (Heatmap, Vec<CellFailure>) {
         // Warm the solo cache sequentially (each entry is needed by a
-        // whole row and the cache lock serializes misses anyway).
+        // whole row and the cache lock serializes misses anyway). A solo
+        // that panics is caught and ignored here: the pair cells that
+        // need it will fail individually and be reported with their own
+        // cell labels.
         for n in names {
-            let _ = study.solo(n);
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| study.solo(n)));
         }
         let pairs: Vec<(usize, usize)> = (0..names.len())
             .flat_map(|i| (0..names.len()).map(move |j| (i, j)))
             .collect();
-        let cells = parallel_map_progress(
+        let report = supervised_map(
             &pairs,
-            |&(i, j)| study.pair(names[i], names[j]).fg_slowdown,
+            policy,
+            |_, &(i, j)| format!("{}/{}", names[i], names[j]),
+            |&(i, j), attempt| {
+                let pair = study.pair_attempt(names[i], names[j], attempt);
+                let status = if pair.stalled {
+                    CellStatus::Stalled
+                } else if pair.truncated {
+                    CellStatus::Truncated
+                } else {
+                    CellStatus::Ok
+                };
+                (pair.fg_slowdown, status)
+            },
             on_cell,
         );
         let n = names.len();
         let mut norm = vec![vec![0.0; n]; n];
+        let mut status = vec![vec![CellStatus::Ok; n]; n];
+        let mut failures = Vec::new();
         for (k, &(i, j)) in pairs.iter().enumerate() {
-            norm[i][j] = cells[k];
+            match &report.results[k] {
+                Ok((v, st)) => {
+                    norm[i][j] = *v;
+                    status[i][j] = *st;
+                }
+                Err(f) => {
+                    norm[i][j] = f64::NAN;
+                    status[i][j] = CellStatus::Failed;
+                    failures.push(f.clone());
+                }
+            }
         }
-        Heatmap { names: names.iter().map(|s| s.to_string()).collect(), norm }
+        let map =
+            Heatmap { names: names.iter().map(|s| s.to_string()).collect(), norm, status };
+        (map, failures)
     }
 
     /// Number of applications.
@@ -72,6 +157,28 @@ impl Heatmap {
     /// Normalized time of foreground `fg` under background `bg`.
     pub fn cell(&self, fg: usize, bg: usize) -> f64 {
         self.norm[fg][bg]
+    }
+
+    /// Measurement quality of cell `(fg, bg)`.
+    pub fn cell_status(&self, fg: usize, bg: usize) -> CellStatus {
+        self.status[fg][bg]
+    }
+
+    /// Counts of `(truncated, stalled, failed)` cells — the ledger the
+    /// CLI prints after a sweep.
+    pub fn status_counts(&self) -> (usize, usize, usize) {
+        let (mut t, mut s, mut f) = (0, 0, 0);
+        for row in &self.status {
+            for st in row {
+                match st {
+                    CellStatus::Ok => {}
+                    CellStatus::Truncated => t += 1,
+                    CellStatus::Stalled => s += 1,
+                    CellStatus::Failed => f += 1,
+                }
+            }
+        }
+        (t, s, f)
     }
 
     /// Classifies the unordered pair `(a, b)` from both directions.
@@ -97,19 +204,20 @@ impl Heatmap {
     }
 
     /// The worst slowdown any foreground suffers under background `bg` —
-    /// a scalar "offender score".
+    /// a scalar "offender score". NaN holes are skipped.
     pub fn offender_score(&self, bg: usize) -> f64 {
         (0..self.len()).map(|fg| self.norm[fg][bg]).fold(0.0, f64::max)
     }
 
     /// The worst slowdown application `fg` suffers under any background —
-    /// a scalar "victim score".
+    /// a scalar "victim score". NaN holes are skipped.
     pub fn victim_score(&self, fg: usize) -> f64 {
         self.norm[fg].iter().copied().fold(0.0, f64::max)
     }
 
     /// Renders the matrix as CSV (first column = foreground name, one
-    /// column per background) for external plotting.
+    /// column per background) for external plotting. Failed cells render
+    /// as `NaN`.
     pub fn to_csv(&self) -> String {
         let mut headers = vec!["fg\\bg".to_string()];
         headers.extend(self.names.iter().cloned());
@@ -128,14 +236,14 @@ mod tests {
     use super::*;
 
     fn sample() -> Heatmap {
-        Heatmap {
-            names: vec!["a".into(), "b".into(), "c".into()],
-            norm: vec![
+        Heatmap::from_norm(
+            vec!["a".into(), "b".into(), "c".into()],
+            vec![
                 vec![1.0, 1.6, 1.1],
                 vec![1.2, 1.0, 1.7],
                 vec![1.0, 1.8, 1.05],
             ],
-        }
+        )
     }
 
     #[test]
@@ -146,6 +254,23 @@ mod tests {
         assert!((h.cell(0, 1) - 1.6).abs() < 1e-12);
         assert_eq!(h.len(), 3);
         assert!(!h.is_empty());
+    }
+
+    #[test]
+    fn from_norm_marks_every_cell_ok() {
+        let h = sample();
+        assert_eq!(h.status_counts(), (0, 0, 0));
+        assert_eq!(h.cell_status(1, 2), CellStatus::Ok);
+    }
+
+    #[test]
+    fn status_counts_tally_by_kind() {
+        let mut h = sample();
+        h.status[0][1] = CellStatus::Truncated;
+        h.status[1][0] = CellStatus::Stalled;
+        h.status[2][2] = CellStatus::Failed;
+        h.status[2][1] = CellStatus::Failed;
+        assert_eq!(h.status_counts(), (1, 1, 2));
     }
 
     #[test]
@@ -177,6 +302,17 @@ mod tests {
         assert_eq!(lines.len(), 4); // header + 3 rows
         assert!(lines[0].starts_with("fg\\bg,a,b,c"));
         assert!(lines[1].starts_with("a,1.0000,1.6000"));
+    }
+
+    #[test]
+    fn nan_holes_render_and_do_not_poison_scores() {
+        let mut h = sample();
+        h.norm[0][1] = f64::NAN;
+        h.status[0][1] = CellStatus::Failed;
+        assert!(h.to_csv().contains("NaN"));
+        // Column b still has a defined max from the other rows.
+        assert!((h.offender_score(1) - 1.8).abs() < 1e-12);
+        assert!((h.victim_score(0) - 1.1).abs() < 1e-12);
     }
 
     #[test]

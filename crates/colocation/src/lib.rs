@@ -41,7 +41,8 @@ pub mod throttle;
 
 pub use bubble::BubbleCurve;
 pub use classify::{classify, PairClass, VICTIM_THRESHOLD};
-pub use heatmap::Heatmap;
+pub use heatmap::{CellStatus, Heatmap};
 pub use metrics::Profile;
 pub use scalability::{ScalabilityClass, ScalabilityCurve};
 pub use study::{PairResult, SoloResult, Study};
+pub use sweep::{supervised_map, CellFailure, SweepPolicy, SweepReport};

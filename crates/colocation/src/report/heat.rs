@@ -59,10 +59,10 @@ mod tests {
 
     #[test]
     fn renders_grid_with_all_rows() {
-        let h = Heatmap {
-            names: vec!["aa".into(), "b".into()],
-            norm: vec![vec![1.0, 1.8], vec![1.2, 1.05]],
-        };
+        let h = Heatmap::from_norm(
+            vec!["aa".into(), "b".into()],
+            vec![vec![1.0, 1.8], vec![1.2, 1.05]],
+        );
         let s = ascii_heatmap(&h);
         assert!(s.contains("aa"));
         assert!(s.contains('#'));

@@ -8,11 +8,11 @@
 //! (the paper uses 3) with the median reported.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use cochar_machine::{AppSpec, Machine, MachineConfig, Msr, Role, RunOutcome, StableHash, StableHasher};
-use cochar_store::{RunKey, RunStore, SCHEMA_VERSION};
+use cochar_store::{RunKey, RunStore, StoreError, SCHEMA_VERSION};
 use cochar_workloads::{Registry, WorkloadSpec};
 
 use crate::metrics::Profile;
@@ -48,8 +48,24 @@ pub struct PairResult {
     pub fg_slowdown: f64,
     /// The run hit the cycle cap before the foreground finished.
     pub truncated: bool,
+    /// The forward-progress watchdog fired: no application retired an
+    /// instruction for the configured window. A stalled cell is a
+    /// poisoned measurement and must be surfaced, never averaged.
+    pub stalled: bool,
     /// Full outcome of the co-run (epochs, per-core counters).
     pub outcome: Arc<RunOutcome>,
+}
+
+/// Test-only fault injection for one heatmap cell (armed via
+/// `Study::with_chaos_cell`, surfaced in the CLI as `COCHAR_CHAOS_CELL`).
+#[derive(Clone, Debug)]
+struct ChaosCell {
+    fg: String,
+    bg: String,
+    /// Attempts below this threshold panic; from this attempt on the
+    /// cell computes normally (so `0` never fires and `u32::MAX` means
+    /// the cell always fails).
+    succeed_from: u32,
 }
 
 /// Cumulative run counters for a study (shared with derived studies).
@@ -72,6 +88,11 @@ pub struct Study {
     solo_cache: Mutex<HashMap<(String, usize, u64), Arc<SoloResult>>>,
     store: Option<RunStore>,
     store_reads: bool,
+    /// Latched once a store append fails persistently: the study keeps
+    /// simulating but stops journaling, and the CLI reports a distinct
+    /// exit code. Shared with derived studies.
+    store_degraded: Arc<AtomicBool>,
+    chaos_cell: Option<ChaosCell>,
     counters: Arc<RunCounters>,
 }
 
@@ -90,6 +111,8 @@ impl Study {
             solo_cache: Mutex::new(HashMap::new()),
             store: None,
             store_reads: true,
+            store_degraded: Arc::new(AtomicBool::new(false)),
+            chaos_cell: None,
             counters: Arc::new(RunCounters::default()),
         }
     }
@@ -109,6 +132,8 @@ impl Study {
             solo_cache: Mutex::new(HashMap::new()),
             store: self.store.clone(),
             store_reads: self.store_reads,
+            store_degraded: Arc::clone(&self.store_degraded),
+            chaos_cell: self.chaos_cell.clone(),
             counters: Arc::clone(&self.counters),
         }
     }
@@ -155,9 +180,27 @@ impl Study {
         self
     }
 
+    /// Arms a fault-injecting panic in the `(fg, bg)` pair cell: attempts
+    /// below `succeed_from` panic, later attempts run normally. This is
+    /// the hook the chaos tests (and `COCHAR_CHAOS_CELL`) use to prove
+    /// that the sweep supervisor isolates, retries, and reports cell
+    /// failures; it is inert unless explicitly armed.
+    pub fn with_chaos_cell(mut self, fg: &str, bg: &str, succeed_from: u32) -> Self {
+        self.chaos_cell =
+            Some(ChaosCell { fg: fg.to_string(), bg: bg.to_string(), succeed_from });
+        self
+    }
+
     /// The persistent store backing this study, if any.
     pub fn store(&self) -> Option<&RunStore> {
         self.store.as_ref()
+    }
+
+    /// True once journaling has been abandoned after a persistent append
+    /// failure: results from this study are correct but were not all
+    /// persisted, so a resumed sweep will re-simulate them.
+    pub fn store_degraded(&self) -> bool {
+        self.store_degraded.load(Ordering::Relaxed)
     }
 
     /// Cumulative `(simulated, cached)` run counts across this study and
@@ -275,13 +318,58 @@ impl Study {
             }
             let outcome = Arc::new(self.machine().run(apps));
             self.counters.simulated.fetch_add(1, Ordering::Relaxed);
-            if let Err(e) = store.put(key, outcome.clone()) {
-                eprintln!("warning: run store append failed: {e}");
-            }
+            self.put_resilient(store, key, outcome.clone());
             outcome
         } else {
             self.counters.simulated.fetch_add(1, Ordering::Relaxed);
             Arc::new(self.machine().run(apps))
+        }
+    }
+
+    /// Journals an outcome, riding out transient IO errors and degrading
+    /// to cache-less operation on persistent ones.
+    ///
+    /// Transient kinds (EINTR, EWOULDBLOCK, timeouts) are retried with
+    /// bounded exponential backoff — a blip should not cost a cache
+    /// entry. Anything else (ENOSPC, EIO, permission loss) latches the
+    /// shared degraded flag: the sweep keeps producing correct results,
+    /// journaling stops (including the backoff cost), a warning is
+    /// printed once, and the CLI exits with a distinct nonzero code so
+    /// scripts know the cache is incomplete.
+    fn put_resilient(&self, store: &RunStore, key: RunKey, outcome: Arc<RunOutcome>) {
+        const TRANSIENT_TRIES: u32 = 4;
+        if self.store_degraded.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut delay = std::time::Duration::from_millis(1);
+        let mut tries = 0;
+        let cause = loop {
+            let e = match store.put(key, outcome.clone()) {
+                Ok(()) => return,
+                Err(e) => e,
+            };
+            let transient = matches!(
+                &e,
+                StoreError::Io(io) if matches!(
+                    io.kind(),
+                    std::io::ErrorKind::Interrupted
+                        | std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                )
+            );
+            tries += 1;
+            if !transient || tries >= TRANSIENT_TRIES {
+                break e;
+            }
+            std::thread::sleep(delay);
+            delay = (delay * 2).min(std::time::Duration::from_millis(100));
+        };
+        if !self.store_degraded.swap(true, Ordering::Relaxed) {
+            eprintln!(
+                "warning: run store append failed persistently ({cause}); \
+                 continuing without persistence — results are unaffected, \
+                 but this sweep will not be resumable"
+            );
         }
     }
 
@@ -334,13 +422,40 @@ impl Study {
     /// (4+4 core binding as in the paper's Fig. 1) and reports the
     /// foreground's normalized runtime.
     pub fn pair(&self, fg: &str, bg: &str) -> PairResult {
+        self.pair_attempt(fg, bg, 0)
+    }
+
+    /// Like [`Study::pair`], with a supervisor retry attempt number.
+    ///
+    /// Attempt `n > 0` perturbs the pair seeds deterministically (the
+    /// solo baseline is untouched, so the denominator stays cached and
+    /// comparable), which is what lets a retried cell dodge a
+    /// seed-dependent failure while remaining reproducible: the same
+    /// attempt always simulates the same run.
+    pub fn pair_attempt(&self, fg: &str, bg: &str, attempt: u32) -> PairResult {
+        if let Some(chaos) = &self.chaos_cell {
+            if chaos.fg == fg && chaos.bg == bg && attempt < chaos.succeed_from {
+                panic!("chaos: injected failure for cell {fg}/{bg} (attempt {attempt})");
+            }
+        }
         let bg_spec = self.spec(bg).clone();
-        self.pair_against(fg, &bg_spec)
+        self.pair_against_attempt(fg, &bg_spec, attempt)
     }
 
     /// Like [`Study::pair`], but against a background workload that is
     /// not in the registry (synthetic stressors, bubbles, custom apps).
     pub fn pair_against(&self, fg: &str, bg_spec: &WorkloadSpec) -> PairResult {
+        self.pair_against_attempt(fg, bg_spec, 0)
+    }
+
+    /// [`Study::pair_against`] with a retry attempt number (see
+    /// [`Study::pair_attempt`] for the reseeding contract).
+    pub fn pair_against_attempt(
+        &self,
+        fg: &str,
+        bg_spec: &WorkloadSpec,
+        attempt: u32,
+    ) -> PairResult {
         let fg_spec = self.spec(fg);
         assert!(
             2 * self.threads <= self.cfg.cores,
@@ -348,8 +463,10 @@ impl Study {
             self.threads,
             self.cfg.cores
         );
+        let bump = u64::from(attempt).wrapping_mul(0x9E37_79B9);
         let solo = self.solo(fg);
         let outcome = self.median_run(|seed| {
+            let seed = seed.wrapping_add(bump);
             vec![
                 self.app_spec(fg_spec, Role::Foreground, FG_BASE, seed, self.threads),
                 self.app_spec(bg_spec, Role::Background, BG_BASE, seed ^ 0x5EED, self.threads),
@@ -362,6 +479,7 @@ impl Study {
             bg: Profile::from_app(bg_app, self.cfg.freq_ghz),
             fg_slowdown: fg_app.elapsed_cycles as f64 / solo.elapsed_cycles as f64,
             truncated: outcome.truncated,
+            stalled: outcome.stalled,
             outcome,
         }
     }

@@ -65,6 +65,40 @@ fn killed_sweep_resumes_running_only_missing_cells() {
 }
 
 #[test]
+fn kill_at_any_byte_offset_resumes_byte_identically() {
+    // The generalized crash property: truncate the journal at *random*
+    // byte offsets (not just line boundaries) and the resumed sweep must
+    // always reproduce the reference CSV exactly. Offsets are drawn from
+    // a deterministic stream so failures replay.
+    let dir = tmpdir("randkill");
+
+    let reference = {
+        let s = store_study(&dir);
+        Heatmap::compute(&s, &APPS).to_csv()
+    };
+    let journal = dir.join("journal.jsonl");
+    let pristine = std::fs::read(&journal).unwrap();
+
+    let mut rng = proptest::TestRng::from_label("kill-at-random-cell");
+    for _ in 0..8 {
+        let cut = (rng.below(pristine.len() as u64 - 1) + 1) as usize;
+        std::fs::write(&journal, &pristine[..cut]).unwrap();
+
+        let resumed = store_study(&dir);
+        let report = resumed.store().unwrap().replay_report();
+        assert!(report.torn <= 1, "cut at {cut}: {report:?}");
+        assert_eq!(report.corrupt, 0, "a clean truncation never looks corrupt");
+        let heat = Heatmap::compute(&resumed, &APPS);
+        assert_eq!(heat.to_csv(), reference, "cut at byte {cut} diverged");
+
+        // Restore the pristine journal for the next independent kill.
+        std::fs::write(&journal, &pristine).unwrap();
+    }
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn cache_hit_is_bit_identical_to_fresh_simulation() {
     let dir = tmpdir("ident");
 

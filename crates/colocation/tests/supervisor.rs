@@ -1,0 +1,147 @@
+//! End-to-end supervision: panic-injected cells, retries, stall/truncate
+//! ledgers, and store degradation under injected append faults.
+//!
+//! These tests run real (tiny) simulations through the full
+//! `Heatmap::compute_supervised` path, proving the acceptance property
+//! of the fault-tolerant sweep: one poisoned cell costs exactly that
+//! cell, never the sweep.
+
+use std::sync::Arc;
+
+use cochar_colocation::{CellStatus, Heatmap, Study, SweepPolicy};
+use cochar_machine::MachineConfig;
+use cochar_store::{Fault, FaultPlan, RunStore};
+use cochar_workloads::{Registry, Scale};
+
+const APPS: [&str; 2] = ["blackscholes", "stream"];
+
+fn study() -> Study {
+    // tiny machine has 2 cores: 1 thread per app for pair runs.
+    Study::new(MachineConfig::tiny(), Arc::new(Registry::new(Scale::tiny()))).with_threads(1)
+}
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir()
+        .join(format!("cochar-supervisor-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn panicking_cell_leaves_exactly_one_nan_hole() {
+    let s = study().with_chaos_cell("stream", "blackscholes", u32::MAX);
+    let (map, failures) =
+        Heatmap::compute_supervised(&s, &APPS, SweepPolicy::default(), |_, _| {});
+
+    assert_eq!(failures.len(), 1);
+    assert_eq!(failures[0].spec, "stream/blackscholes");
+    assert!(failures[0].cause.contains("chaos"), "{}", failures[0].cause);
+    assert_eq!(map.status_counts(), (0, 0, 1));
+
+    let (fi, fj) = (map.index("stream").unwrap(), map.index("blackscholes").unwrap());
+    for i in 0..map.len() {
+        for j in 0..map.len() {
+            if (i, j) == (fi, fj) {
+                assert!(map.cell(i, j).is_nan());
+                assert_eq!(map.cell_status(i, j), CellStatus::Failed);
+            } else {
+                assert!(map.cell(i, j).is_finite(), "cell {i},{j} lost to a neighbour's panic");
+                assert!(map.cell(i, j) >= 0.9);
+            }
+        }
+    }
+    // The hole renders as NaN in the CSV instead of sinking the export.
+    assert!(map.to_csv().contains("NaN"));
+}
+
+#[test]
+fn retry_budget_recovers_a_flaky_cell() {
+    // The cell panics on attempt 0 and succeeds from attempt 1; one retry
+    // must produce a complete, hole-free heatmap.
+    let s = study().with_chaos_cell("stream", "stream", 1);
+    let (map, failures) = Heatmap::compute_supervised(
+        &s,
+        &APPS,
+        SweepPolicy { max_retries: 1, keep_going: true },
+        |_, _| {},
+    );
+    assert!(failures.is_empty(), "{failures:?}");
+    assert_eq!(map.status_counts(), (0, 0, 0));
+    for i in 0..map.len() {
+        for j in 0..map.len() {
+            assert!(map.cell(i, j).is_finite());
+        }
+    }
+}
+
+#[test]
+fn retried_cell_value_is_deterministic() {
+    // A retried cell reseeds by attempt number, so two sweeps that both
+    // fail attempt 0 land on identical attempt-1 measurements.
+    let run = || {
+        let s = study().with_chaos_cell("stream", "stream", 1);
+        let (map, _) = Heatmap::compute_supervised(
+            &s,
+            &APPS,
+            SweepPolicy { max_retries: 2, keep_going: true },
+            |_, _| {},
+        );
+        let k = map.index("stream").unwrap();
+        map.cell(k, k)
+    };
+    assert_eq!(run().to_bits(), run().to_bits());
+}
+
+#[test]
+fn persistent_append_failure_degrades_to_cacheless() {
+    let dir = tmpdir("degrade");
+    // Every append from the very first one hits ENOSPC.
+    let store =
+        RunStore::open_with_faults(&dir, FaultPlan::new().at(0, Fault::Enospc)).unwrap();
+    let s = study().with_store(store);
+    let (map, failures) =
+        Heatmap::compute_supervised(&s, &APPS, SweepPolicy::default(), |_, _| {});
+
+    // The sweep itself is unharmed: full-disk costs persistence, not
+    // results.
+    assert!(failures.is_empty(), "{failures:?}");
+    assert_eq!(map.status_counts(), (0, 0, 0));
+    assert!(s.store_degraded());
+    // Nothing (beyond the poisoned first append) made it to disk.
+    let reopened = RunStore::open(&dir).unwrap();
+    assert_eq!(reopened.len(), 0);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn transient_append_failure_is_absorbed_by_backoff() {
+    let dir = tmpdir("transient");
+    let store =
+        RunStore::open_with_faults(&dir, FaultPlan::new().at(0, Fault::Transient)).unwrap();
+    let s = study().with_store(store);
+    let solo = s.solo("blackscholes");
+    assert!(solo.elapsed_cycles > 0);
+    assert!(!s.store_degraded(), "one EINTR must not degrade the store");
+    // The retried append landed: a reopen finds the journaled run.
+    let reopened = RunStore::open(&dir).unwrap();
+    assert_eq!(reopened.len(), 1);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn fail_fast_stops_the_sweep_and_reports_skips() {
+    let s = study().with_chaos_cell("blackscholes", "blackscholes", u32::MAX);
+    let (map, failures) = Heatmap::compute_supervised(
+        &s,
+        &APPS,
+        SweepPolicy { max_retries: 0, keep_going: false },
+        |_, _| {},
+    );
+    assert!(!failures.is_empty());
+    let (_, _, failed) = map.status_counts();
+    assert_eq!(failed, failures.len());
+    assert!(
+        failures.iter().any(|f| f.cause.contains("chaos")),
+        "the real failure must be among the reports: {failures:?}"
+    );
+}

@@ -85,6 +85,13 @@ pub struct MachineConfig {
     pub epoch_cycles: u64,
     /// Hard cap on simulated time to bound runaway runs.
     pub max_cycles: u64,
+    /// Forward-progress watchdog window in cycles (0 disables): if no
+    /// application retires an instruction for this long, the run is
+    /// classified `stalled` instead of spinning to `max_cycles`. Must be
+    /// far above any legitimate inter-retirement gap (worst-case memory
+    /// queueing is thousands of cycles; the window is hundreds of
+    /// millions).
+    pub stall_cycles: u64,
 }
 
 impl MachineConfig {
@@ -104,6 +111,7 @@ impl MachineConfig {
             prefetch_throttle_cycles: 150,
             epoch_cycles: 2_000_000,
             max_cycles: 50_000_000_000,
+            stall_cycles: 1_000_000_000,
         }
     }
 
@@ -118,6 +126,7 @@ impl MachineConfig {
         c.llc = CacheConfig { bytes: 2 * 1024 * 1024 + 512 * 1024, ways: 20, latency: 35 };
         c.epoch_cycles = 500_000;
         c.max_cycles = 20_000_000_000;
+        c.stall_cycles = 500_000_000;
         c
     }
 
@@ -133,6 +142,7 @@ impl MachineConfig {
         c.llc = CacheConfig { bytes: 1024 * 1024, ways: 16, latency: 35 };
         c.epoch_cycles = 200_000;
         c.max_cycles = 4_000_000_000;
+        c.stall_cycles = 200_000_000;
         c
     }
 
@@ -145,6 +155,7 @@ impl MachineConfig {
         c.llc = CacheConfig { bytes: 16 * 1024, ways: 4, latency: 35 };
         c.epoch_cycles = 10_000;
         c.max_cycles = 100_000_000;
+        c.stall_cycles = 10_000_000;
         c
     }
 

@@ -105,10 +105,15 @@ pub struct RunOutcome {
     /// Per-application results, in spec order.
     pub apps: Vec<AppResult>,
     /// Cycle at which the last foreground application finished (or the
-    /// truncation point).
+    /// truncation/stall point).
     pub horizon: u64,
     /// The run hit `max_cycles` before the foreground finished.
     pub truncated: bool,
+    /// The forward-progress watchdog fired: no application retired an
+    /// instruction for `stall_cycles` cycles. A stalled run is a poisoned
+    /// measurement, not a slow one — consumers must surface it, never
+    /// average it.
+    pub stalled: bool,
     /// Per-epoch memory traffic (pcm-memory analogue).
     pub epochs: Vec<EpochTraffic>,
     /// Epoch length in cycles.
@@ -365,7 +370,12 @@ impl<'a> Engine<'a> {
             .count();
         let mut app_finish = vec![0u64; napps];
         let mut truncated = false;
+        let mut stalled = false;
         let mut horizon = 0u64;
+        // Forward-progress watchdog: global time of the last observed
+        // instruction retirement, against the configured stall window.
+        let mut last_retired: u64 = 0;
+        let mut retired_at: u64 = 0;
 
         while let Some(Reverse((t, i))) = heap.pop() {
             if fg_cores_left == 0 {
@@ -373,6 +383,17 @@ impl<'a> Engine<'a> {
             }
             if t > self.cfg.max_cycles {
                 truncated = true;
+                horizon = t;
+                break;
+            }
+            let retired: u64 = self.cores.iter().map(|c| c.ctr.instructions).sum();
+            if retired > last_retired {
+                last_retired = retired;
+                retired_at = t;
+            } else if self.cfg.stall_cycles > 0
+                && t.saturating_sub(retired_at) > self.cfg.stall_cycles
+            {
+                stalled = true;
                 horizon = t;
                 break;
             }
@@ -418,12 +439,18 @@ impl<'a> Engine<'a> {
             let mut agg = CoreCounters::default();
             let mut per_core = Vec::new();
             let mut bg_iterations = 0;
+            let mut unfinished = false;
             for core in self.cores.iter().filter(|c| c.app == ai) {
                 agg.merge(&core.ctr);
                 per_core.push(core.ctr.clone());
                 bg_iterations += core.stream.iterations();
+                unfinished |= !core.finished;
             }
+            // A foreground cut off by truncation or a stall reports the
+            // horizon — the time it demonstrably ran without finishing —
+            // not the finish time of whichever cores happened to complete.
             let elapsed = match self.app_roles[ai] {
+                Role::Foreground if unfinished => horizon.max(app_finish[ai]).max(1),
                 Role::Foreground => app_finish[ai].max(1),
                 Role::Background => horizon.max(1),
             };
@@ -446,6 +473,7 @@ impl<'a> Engine<'a> {
             apps,
             horizon: horizon.max(1),
             truncated,
+            stalled,
             epochs: self.mem.epochs().to_vec(),
             epoch_cycles: self.mem.epoch_cycles(),
             freq_ghz: self.cfg.freq_ghz,
@@ -458,8 +486,21 @@ impl<'a> Engine<'a> {
         let core = &mut self.cores[i];
         let privs = &mut self.privs[i];
         let deadline = core.time + QUANTUM;
+        // Livelock guard: a stream that keeps yielding zero-cost slots
+        // (`Compute(0)`) advances neither time nor the quantum check, so
+        // the loop below would never exit. Past this bound the core burns
+        // the rest of its quantum as idle time instead — time then
+        // progresses without retirement and the engine-level stall
+        // watchdog classifies the run. Real generators emit `Compute(0)`
+        // only interleaved with memory accesses, never in long runs.
+        const ZERO_PROGRESS_SLOTS: u32 = 4096;
+        let mut zero_slots: u32 = 0;
         loop {
             if core.time >= deadline {
+                return AdvanceResult::QuantumExpired;
+            }
+            if zero_slots >= ZERO_PROGRESS_SLOTS {
+                core.time = deadline;
                 return AdvanceResult::QuantumExpired;
             }
             match core.stream.next() {
@@ -473,8 +514,14 @@ impl<'a> Engine<'a> {
                 Some(Slot::Compute(n)) => {
                     core.time += u64::from(n);
                     core.ctr.instructions += u64::from(n);
+                    if n == 0 {
+                        zero_slots += 1;
+                    } else {
+                        zero_slots = 0;
+                    }
                 }
                 Some(Slot::Load { addr, pc, dep }) => {
+                    zero_slots = 0; // loads always advance time or pause
                     core.ctr.instructions += 1;
                     core.ctr.loads += 1;
                     if dep && core.last_load_completion > core.time {
@@ -498,6 +545,7 @@ impl<'a> Engine<'a> {
                     }
                 }
                 Some(Slot::Store { addr, pc }) => {
+                    zero_slots = 0; // stores always advance time or pause
                     core.ctr.instructions += 1;
                     core.ctr.stores += 1;
                     let line = addr / LINE_BYTES;
@@ -947,6 +995,58 @@ mod tests {
         let m = Machine::new(cfg);
         let out = m.run(&[fg("long", compute_factory(100_000_000), 1, 0)]);
         assert!(out.truncated);
+        assert!(!out.stalled);
+        // The cut-off foreground reports the simulated horizon, not a
+        // bogus 1-cycle "finish".
+        assert!(out.apps[0].elapsed_cycles >= 10_000);
+    }
+
+    /// A stream that yields zero-cost slots forever: the pathological
+    /// no-forward-progress workload the stall watchdog exists for.
+    struct DeadSpin;
+    impl SlotStream for DeadSpin {
+        fn next_slot(&mut self) -> Option<Slot> {
+            Some(Slot::Compute(0))
+        }
+    }
+
+    #[test]
+    fn watchdog_classifies_no_progress_run_as_stalled() {
+        let mut cfg = MachineConfig::tiny();
+        cfg.stall_cycles = 200_000;
+        let m = Machine::new(cfg);
+        let factory: Arc<dyn StreamFactory> =
+            Arc::new(|_: &StreamParams| Box::new(DeadSpin) as Box<dyn SlotStream>);
+        let out = m.run(&[fg("spin", factory, 1, 0)]);
+        assert!(out.stalled, "watchdog must fire");
+        assert!(!out.truncated, "stall is classified before the cycle cap");
+        // Fired within the window (plus slack for quantum granularity),
+        // nowhere near tiny's 100M-cycle cap.
+        assert!(out.horizon < 2_000_000, "fired at {}", out.horizon);
+        assert_eq!(out.apps[0].elapsed_cycles, out.horizon);
+    }
+
+    #[test]
+    fn watchdog_disabled_spins_to_the_cycle_cap() {
+        let mut cfg = MachineConfig::tiny();
+        cfg.stall_cycles = 0;
+        cfg.max_cycles = 1_000_000;
+        let m = Machine::new(cfg);
+        let factory: Arc<dyn StreamFactory> =
+            Arc::new(|_: &StreamParams| Box::new(DeadSpin) as Box<dyn SlotStream>);
+        let out = m.run(&[fg("spin", factory, 1, 0)]);
+        assert!(out.truncated, "with the watchdog off only max_cycles stops the run");
+        assert!(!out.stalled);
+    }
+
+    #[test]
+    fn slow_but_progressing_run_is_not_stalled() {
+        let mut cfg = MachineConfig::tiny();
+        cfg.stall_cycles = 50_000; // tight window
+        let m = Machine::new(cfg);
+        let out = m.run(&[fg("seq", seq_factory(64 * 1024, 200), 1, 0)]);
+        assert!(!out.stalled);
+        assert!(!out.truncated);
     }
 
     #[test]

@@ -120,6 +120,7 @@ impl StableHash for MachineConfig {
         h.write_u64(self.prefetch_throttle_cycles);
         h.write_u64(self.epoch_cycles);
         h.write_u64(self.max_cycles);
+        h.write_u64(self.stall_cycles);
     }
 }
 
@@ -192,6 +193,9 @@ mod tests {
         variants.push(c);
         let mut c = base.clone();
         c.max_cycles += 1;
+        variants.push(c);
+        let mut c = base.clone();
+        c.stall_cycles += 1;
         variants.push(c);
         for v in variants {
             assert_ne!(h0, hash_of(|h| v.stable_hash(h)), "{v:?}");

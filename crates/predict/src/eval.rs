@@ -196,14 +196,14 @@ mod tests {
     }
 
     fn heat3() -> Heatmap {
-        Heatmap {
-            names: vec!["a".into(), "b".into(), "c".into()],
-            norm: vec![
+        Heatmap::from_norm(
+            vec!["a".into(), "b".into(), "c".into()],
+            vec![
                 vec![1.0, 1.6, 1.1],
                 vec![1.2, 1.0, 1.7],
                 vec![1.0, 1.8, 1.05],
             ],
-        }
+        )
     }
 
     #[test]

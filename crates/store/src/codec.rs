@@ -18,6 +18,7 @@ pub fn encode_outcome(o: &RunOutcome) -> Json {
         ("apps".into(), Json::Arr(o.apps.iter().map(encode_app).collect())),
         ("horizon".into(), Json::u64(o.horizon)),
         ("trunc".into(), Json::Bool(o.truncated)),
+        ("stall".into(), Json::Bool(o.stalled)),
         ("epochs".into(), Json::Arr(o.epochs.iter().map(encode_epoch).collect())),
         ("epoch_cycles".into(), Json::u64(o.epoch_cycles)),
         ("freq_ghz".into(), Json::f64(o.freq_ghz)),
@@ -42,6 +43,7 @@ pub fn decode_outcome(v: &Json) -> Result<RunOutcome, JsonError> {
         apps,
         horizon: v.field("horizon")?.as_u64()?,
         truncated: v.field("trunc")?.as_bool()?,
+        stalled: v.field("stall")?.as_bool()?,
         epochs,
         epoch_cycles: v.field("epoch_cycles")?.as_u64()?,
         freq_ghz: v.field("freq_ghz")?.as_f64()?,
@@ -239,6 +241,7 @@ pub(crate) mod tests {
             ],
             horizon: 123_456_789_012,
             truncated: true,
+            stalled: true,
             epochs: vec![
                 EpochTraffic { read_bytes: vec![64, 0], write_bytes: vec![0, 128] },
                 EpochTraffic { read_bytes: vec![], write_bytes: vec![] },

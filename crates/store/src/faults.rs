@@ -1,0 +1,262 @@
+//! Store fault injection: a chaos harness for the journal's crash model.
+//!
+//! [`ChaosFile`] wraps the journal's real append-mode file behind the
+//! [`AppendSink`] trait and perturbs scheduled appends: disk-full errors,
+//! short (torn) writes, single-bit corruption, transient interruptions,
+//! and kill-mid-append. Everything it does to the file is something a
+//! real machine can do — the harness exists to prove that replay
+//! classifies each of these exactly as DESIGN.md's failure model says it
+//! must (torn tails dropped and repaired, flipped bits caught by the
+//! checksum, full disks degrading the store rather than the sweep).
+//!
+//! Plans are also parseable from a compact string (`"enospc@2"`,
+//! `"short@1:20,flip@3:13"`) so the CLI can arm faults from an
+//! environment variable in end-to-end tests without bespoke test builds.
+
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{self, Write};
+
+use crate::journal::AppendSink;
+
+/// One scheduled misbehaviour of the append path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Disk full: the append fails with [`io::ErrorKind::StorageFull`]
+    /// writing nothing, and every later append fails the same way —
+    /// a full disk stays full.
+    Enospc,
+    /// A one-shot [`io::ErrorKind::Interrupted`] failure writing nothing;
+    /// the next attempt succeeds. Models EINTR / blips a retry absorbs.
+    Transient,
+    /// Torn write: the first `n` bytes of the line reach the file, then
+    /// the append fails. Replay must classify the fragment as torn.
+    Short(usize),
+    /// Single-bit corruption: bit `b` (counting from the start of the
+    /// line) is flipped, the write "succeeds", and only the checksum can
+    /// catch it on replay.
+    BitFlip(usize),
+    /// Kill mid-append: the first `n` bytes land, then the process is
+    /// treated as dead — this and all later appends fail permanently.
+    Kill(usize),
+}
+
+/// A schedule of faults keyed by zero-based append index.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    schedule: BTreeMap<u64, Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (all appends succeed).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `fault` for the `nth` append (zero-based), replacing any
+    /// fault already scheduled there.
+    pub fn at(mut self, nth: u64, fault: Fault) -> Self {
+        self.schedule.insert(nth, fault);
+        self
+    }
+
+    /// True if no faults are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.schedule.is_empty()
+    }
+
+    /// The fault scheduled for append `nth`, if any.
+    pub fn fault_at(&self, nth: u64) -> Option<Fault> {
+        self.schedule.get(&nth).copied()
+    }
+
+    /// Parses the compact plan grammar: a comma-separated list of
+    /// `kind@n` or `kind@n:arg` clauses, where `n` is the zero-based
+    /// append index.
+    ///
+    /// ```text
+    /// enospc@2            disk full from append 2 onward
+    /// transient@1         append 1 fails once with EINTR
+    /// short@1:20          append 1 writes only 20 bytes, then errors
+    /// flip@0:13           append 0 lands with bit 13 flipped
+    /// kill@3:7            append 3 writes 7 bytes, then dies for good
+    /// ```
+    pub fn parse(text: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::new();
+        for clause in text.split(',').map(str::trim).filter(|c| !c.is_empty()) {
+            let (kind, rest) = clause
+                .split_once('@')
+                .ok_or_else(|| format!("fault clause {clause:?} is missing '@'"))?;
+            let (nth, arg) = match rest.split_once(':') {
+                Some((n, a)) => (n, Some(a)),
+                None => (rest, None),
+            };
+            let nth: u64 = nth
+                .parse()
+                .map_err(|_| format!("bad append index {nth:?} in {clause:?}"))?;
+            let arg_usize = |name: &str| -> Result<usize, String> {
+                arg.ok_or_else(|| format!("{kind}@ needs :{name} in {clause:?}"))?
+                    .parse()
+                    .map_err(|_| format!("bad {name} in {clause:?}"))
+            };
+            let fault = match kind {
+                "enospc" => Fault::Enospc,
+                "transient" => Fault::Transient,
+                "short" => Fault::Short(arg_usize("bytes")?),
+                "flip" => Fault::BitFlip(arg_usize("bit")?),
+                "kill" => Fault::Kill(arg_usize("bytes")?),
+                other => return Err(format!("unknown fault kind {other:?}")),
+            };
+            if (kind == "enospc" || kind == "transient") && arg.is_some() {
+                return Err(format!("{kind}@ takes no argument, got {clause:?}"));
+            }
+            plan.schedule.insert(nth, fault);
+        }
+        Ok(plan)
+    }
+}
+
+/// A journal append sink that executes a [`FaultPlan`].
+pub struct ChaosFile {
+    inner: File,
+    plan: FaultPlan,
+    appends: u64,
+    /// Once set, every append fails with this message: the disk stayed
+    /// full, or the "process" died mid-write.
+    dead: Option<&'static str>,
+}
+
+impl ChaosFile {
+    /// Wraps `inner` with the given plan.
+    pub fn new(inner: File, plan: FaultPlan) -> Self {
+        ChaosFile { inner, plan, appends: 0, dead: None }
+    }
+
+    fn write_prefix(&mut self, buf: &[u8], n: usize) -> io::Result<()> {
+        let n = n.min(buf.len());
+        self.inner.write_all(&buf[..n])?;
+        self.inner.flush()
+    }
+}
+
+impl AppendSink for ChaosFile {
+    fn append(&mut self, buf: &[u8]) -> io::Result<()> {
+        if let Some(cause) = self.dead {
+            return Err(io::Error::new(io::ErrorKind::StorageFull, cause));
+        }
+        let nth = self.appends;
+        self.appends += 1;
+        match self.plan.fault_at(nth) {
+            None => {
+                self.inner.write_all(buf)?;
+                self.inner.flush()
+            }
+            Some(Fault::Enospc) => {
+                self.dead = Some("no space left on device (injected)");
+                Err(io::Error::new(io::ErrorKind::StorageFull, "no space left on device (injected)"))
+            }
+            Some(Fault::Transient) => {
+                Err(io::Error::new(io::ErrorKind::Interrupted, "interrupted (injected)"))
+            }
+            Some(Fault::Short(n)) => {
+                self.write_prefix(buf, n)?;
+                Err(io::Error::new(io::ErrorKind::StorageFull, "short write (injected)"))
+            }
+            Some(Fault::Kill(n)) => {
+                self.write_prefix(buf, n)?;
+                self.dead = Some("killed mid-append (injected)");
+                Err(io::Error::new(io::ErrorKind::StorageFull, "killed mid-append (injected)"))
+            }
+            Some(Fault::BitFlip(bit)) => {
+                let mut mangled = buf.to_vec();
+                // Never flip the trailing newline: bit flips corrupt a
+                // record's *content*; tearing the framing is Short/Kill's
+                // job.
+                let limit = (mangled.len().saturating_sub(1)) * 8;
+                if limit > 0 {
+                    let bit = bit % limit;
+                    mangled[bit / 8] ^= 1 << (bit % 8);
+                }
+                self.inner.write_all(&mangled)?;
+                self.inner.flush()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_grammar_round_trips() {
+        let plan = FaultPlan::parse("enospc@2, short@1:20,flip@0:13,kill@3:7,transient@5").unwrap();
+        assert_eq!(plan.fault_at(2), Some(Fault::Enospc));
+        assert_eq!(plan.fault_at(1), Some(Fault::Short(20)));
+        assert_eq!(plan.fault_at(0), Some(Fault::BitFlip(13)));
+        assert_eq!(plan.fault_at(3), Some(Fault::Kill(7)));
+        assert_eq!(plan.fault_at(5), Some(Fault::Transient));
+        assert_eq!(plan.fault_at(4), None);
+    }
+
+    #[test]
+    fn plan_grammar_rejects_malformed_clauses() {
+        assert!(FaultPlan::parse("enospc").is_err());
+        assert!(FaultPlan::parse("short@1").is_err());
+        assert!(FaultPlan::parse("flip@x:3").is_err());
+        assert!(FaultPlan::parse("meteor@1").is_err());
+        assert!(FaultPlan::parse("enospc@1:5").is_err());
+        assert!(FaultPlan::parse("").map(|p| p.is_empty()).unwrap_or(false));
+    }
+
+    #[test]
+    fn enospc_is_persistent_and_transient_is_not() {
+        let dir = std::env::temp_dir()
+            .join(format!("cochar-faults-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = File::create(dir.join("sink")).unwrap();
+        let plan = FaultPlan::new().at(0, Fault::Transient).at(2, Fault::Enospc);
+        let mut sink = ChaosFile::new(file, plan);
+
+        let e = sink.append(b"a\n").unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::Interrupted);
+        sink.append(b"b\n").unwrap(); // transient cleared
+        let e = sink.append(b"c\n").unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::StorageFull);
+        // The disk stays full even for appends with no scheduled fault.
+        assert!(sink.append(b"d\n").is_err());
+        assert_eq!(std::fs::read(dir.join("sink")).unwrap(), b"b\n");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn short_write_leaves_a_prefix() {
+        let dir = std::env::temp_dir()
+            .join(format!("cochar-faults-short-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = File::create(dir.join("sink")).unwrap();
+        let mut sink = ChaosFile::new(file, FaultPlan::new().at(0, Fault::Short(3)));
+        assert!(sink.append(b"abcdef\n").is_err());
+        sink.append(b"xy\n").unwrap();
+        assert_eq!(std::fs::read(dir.join("sink")).unwrap(), b"abcxy\n");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bit_flip_changes_content_but_not_length() {
+        let dir = std::env::temp_dir()
+            .join(format!("cochar-faults-flip-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = File::create(dir.join("sink")).unwrap();
+        let mut sink = ChaosFile::new(file, FaultPlan::new().at(0, Fault::BitFlip(9)));
+        sink.append(b"hello\n").unwrap();
+        let got = std::fs::read(dir.join("sink")).unwrap();
+        assert_eq!(got.len(), 6);
+        assert_ne!(got, b"hello\n");
+        assert_eq!(got[5], b'\n', "framing newline must survive a flip");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -14,9 +14,15 @@
 //!
 //! Crash model: a record is only meaningful once its full line (including
 //! the trailing `\n`) hits the file. A process killed mid-append leaves a
-//! **torn** final line, which replay drops silently; any *interior* line
-//! that fails to parse or whose checksum mismatches is **corrupt** and is
-//! reported, not trusted.
+//! **torn** final line, which replay drops — and then *repairs*: the file
+//! is truncated back to the last newline-terminated record before the
+//! append handle opens, so new records never land after garbage. Any
+//! *interior* line that fails to parse or whose checksum mismatches is
+//! **corrupt** and is reported, not trusted.
+//!
+//! Appends go through the [`AppendSink`] trait — a plain buffered file in
+//! production, a fault-injecting [`crate::faults::ChaosFile`] under test —
+//! so the crash model above is provable, not aspirational.
 
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Read, Write};
@@ -43,6 +49,37 @@ pub struct ReplayReport {
     pub torn: usize,
     /// Valid records whose key repeated an earlier valid record.
     pub duplicates: usize,
+}
+
+/// Destination for rendered journal lines.
+///
+/// The contract is all-or-nothing *per call as observed by this process*:
+/// an `Ok` return means the line (and its trailing newline) reached the
+/// OS. The crash model tolerates a torn write under the hood — replay
+/// drops and repairs an unterminated tail — so a fault-injecting sink may
+/// write a prefix and then fail, exactly like a real ENOSPC or kill.
+pub trait AppendSink: Send {
+    /// Writes `buf` (one full line including `\n`) and flushes to the OS.
+    fn append(&mut self, buf: &[u8]) -> std::io::Result<()>;
+}
+
+/// The production sink: a buffered file flushed on every append.
+pub struct FileSink {
+    writer: BufWriter<File>,
+}
+
+impl FileSink {
+    /// Wraps an already-opened append-mode file.
+    pub fn new(file: File) -> Self {
+        FileSink { writer: BufWriter::new(file) }
+    }
+}
+
+impl AppendSink for FileSink {
+    fn append(&mut self, buf: &[u8]) -> std::io::Result<()> {
+        self.writer.write_all(buf)?;
+        self.writer.flush()
+    }
 }
 
 /// Renders one journal line (without the trailing newline).
@@ -97,10 +134,17 @@ pub fn parse_record(line: &str) -> Result<(RunKey, RunOutcome), StoreError> {
     Ok((key, outcome))
 }
 
+/// Factory recreating the append sink after the file is (re)opened.
+pub type SinkFactory = Box<dyn Fn(File) -> Box<dyn AppendSink> + Send>;
+
 /// An open journal: replay on open, then append-only.
 pub struct Journal {
     path: PathBuf,
-    writer: BufWriter<File>,
+    sink: Box<dyn AppendSink>,
+    wrap: SinkFactory,
+    /// Set when an append fails: the file may end in a partial line, so
+    /// the next append must re-frame before writing (see [`Journal::append`]).
+    dirty: bool,
 }
 
 impl Journal {
@@ -110,7 +154,20 @@ impl Journal {
     /// caller can build its index (last record wins for duplicate keys).
     pub fn open(
         dir: &Path,
+        on_record: impl FnMut(RunKey, RunOutcome) -> bool,
+    ) -> Result<(Journal, ReplayReport), StoreError> {
+        Self::open_with(dir, on_record, Box::new(|f| Box::new(FileSink::new(f))))
+    }
+
+    /// Opens the journal with a caller-supplied append sink.
+    ///
+    /// `wrap` is invoked on every (re)open of the underlying file — once
+    /// here and again after each [`Journal::rewrite`] — so a fault plan
+    /// survives compaction.
+    pub fn open_with(
+        dir: &Path,
         mut on_record: impl FnMut(RunKey, RunOutcome) -> bool,
+        wrap: SinkFactory,
     ) -> Result<(Journal, ReplayReport), StoreError> {
         let path = dir.join(JOURNAL_FILE);
         let mut report = ReplayReport::default();
@@ -121,8 +178,17 @@ impl Journal {
             let lines: Vec<&[u8]> =
                 raw.split(|&b| b == b'\n').filter(|l| !l.is_empty()).collect();
             let n = lines.len();
+            let mut torn_bytes = 0usize;
             for (i, line) in lines.into_iter().enumerate() {
-                let tail = i + 1 == n && !complete;
+                // Strict crash model: a final line with no trailing newline
+                // is torn no matter what it contains — even if it happens
+                // to parse, the append that produced it did not complete,
+                // so it is not trusted.
+                if i + 1 == n && !complete {
+                    report.torn += 1;
+                    torn_bytes = line.len();
+                    continue;
+                }
                 let parsed = std::str::from_utf8(line)
                     .map_err(|_| StoreError::Corrupt("non-utf8 line".into()))
                     .and_then(parse_record);
@@ -134,25 +200,51 @@ impl Journal {
                             report.duplicates += 1;
                         }
                     }
-                    Err(_) if tail => report.torn += 1,
                     Err(_) => report.corrupt += 1,
                 }
             }
+            // Tail repair: chop the torn fragment off the file before the
+            // append handle opens, so the next record starts at a line
+            // boundary instead of gluing itself onto garbage.
+            if torn_bytes > 0 {
+                let good_len = (raw.len() - torn_bytes) as u64;
+                OpenOptions::new().write(true).open(&path)?.set_len(good_len)?;
+            }
         }
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
-        Ok((Journal { path, writer: BufWriter::new(file) }, report))
+        let sink = wrap(file);
+        Ok((Journal { path, sink, wrap, dirty: false }, report))
     }
 
     /// Appends one record and flushes it to the OS.
     ///
     /// The flush bounds crash loss to the record currently being written:
     /// everything previously appended survives a kill.
+    ///
+    /// After a *failed* append the file may end in a partial line, and a
+    /// record appended directly after it would fuse with the fragment and
+    /// be lost as corrupt on replay. So the first append after a failure
+    /// leads with an extra `\n` to close any fragment — replay filters
+    /// empty lines, and the fragment (if any) becomes an isolated interior
+    /// line that is classified corrupt instead of swallowing a good record.
     pub fn append(&mut self, key: RunKey, outcome: &RunOutcome) -> Result<(), StoreError> {
-        let mut line = render_record(key, outcome);
+        let record = render_record(key, outcome);
+        let mut line = String::with_capacity(record.len() + 2);
+        if self.dirty {
+            line.push('\n');
+        }
+        line.push_str(&record);
         line.push('\n');
-        self.writer.write_all(line.as_bytes())?;
-        self.writer.flush()?;
-        Ok(())
+        match self.sink.append(line.as_bytes()) {
+            Ok(()) => {
+                self.dirty = false;
+                Ok(())
+            }
+            Err(e) => {
+                self.dirty = true;
+                Err(e.into())
+            }
+        }
     }
 
     /// Rewrites the journal to contain exactly `records`, atomically.
@@ -178,7 +270,8 @@ impl Journal {
         std::fs::rename(&tmp, &self.path)?;
         // The old append handle points at the unlinked inode; reopen.
         let file = OpenOptions::new().create(true).append(true).open(&self.path)?;
-        self.writer = BufWriter::new(file);
+        self.sink = (self.wrap)(file);
+        self.dirty = false;
         Ok(())
     }
 
@@ -248,6 +341,69 @@ mod tests {
         .unwrap();
         assert_eq!(seen, vec![RunKey(1)]);
         assert_eq!(report, ReplayReport { valid: 1, corrupt: 1, torn: 1, duplicates: 0 });
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unterminated_parseable_tail_is_still_torn() {
+        // Strictness check: the final append may have lost only its
+        // newline, leaving a line that parses — it is dropped anyway,
+        // because the write provably did not complete.
+        let dir = tmpdir("strict");
+        let o = sample_outcome();
+        {
+            let (mut j, _) = Journal::open(&dir, |_, _| true).unwrap();
+            j.append(RunKey(1), &o).unwrap();
+            j.append(RunKey(2), &o).unwrap();
+        }
+        let path = dir.join(JOURNAL_FILE);
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.pop(), Some('\n'));
+        std::fs::write(&path, &text).unwrap();
+
+        let mut seen = Vec::new();
+        let (_, report) = Journal::open(&dir, |k, _| {
+            seen.push(k);
+            true
+        })
+        .unwrap();
+        assert_eq!(seen, vec![RunKey(1)]);
+        assert_eq!(report, ReplayReport { valid: 1, corrupt: 0, torn: 1, duplicates: 0 });
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_repaired_before_new_appends() {
+        let dir = tmpdir("repair");
+        let o = sample_outcome();
+        {
+            let (mut j, _) = Journal::open(&dir, |_, _| true).unwrap();
+            j.append(RunKey(1), &o).unwrap();
+            j.append(RunKey(2), &o).unwrap();
+        }
+        let path = dir.join(JOURNAL_FILE);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let cut = text.len() - text.lines().last().unwrap().len() / 2 - 1;
+        std::fs::write(&path, &text[..cut]).unwrap();
+
+        // Opening repairs the tail, so the next append lands on a clean
+        // line boundary instead of fusing with the fragment.
+        {
+            let (mut j, report) = Journal::open(&dir, |_, _| true).unwrap();
+            assert_eq!(report.torn, 1);
+            j.append(RunKey(3), &o).unwrap();
+        }
+        let repaired = std::fs::read_to_string(&path).unwrap();
+        assert!(repaired.ends_with('\n'));
+
+        let mut seen = Vec::new();
+        let (_, report) = Journal::open(&dir, |k, _| {
+            seen.push(k);
+            true
+        })
+        .unwrap();
+        assert_eq!(seen, vec![RunKey(1), RunKey(3)]);
+        assert_eq!(report, ReplayReport { valid: 2, corrupt: 0, torn: 0, duplicates: 0 });
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

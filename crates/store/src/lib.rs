@@ -11,8 +11,12 @@
 //! [`cochar_machine::RunOutcome`]s are appended to a JSON-lines journal
 //! (`journal.jsonl`) with a per-record checksum, flushed as each record
 //! lands. Kill the process at any point and reopen: replay drops the torn
-//! final line (if any), reports interior corruption, and rebuilds the
-//! index — only the cells that never completed are simulated again.
+//! final line (if any) and truncates the file back to the last good
+//! record, reports interior corruption, and rebuilds the index — only the
+//! cells that never completed are simulated again. The [`faults`] module
+//! provides a fault-injecting journal sink ([`faults::ChaosFile`]) that
+//! makes this crash model testable: ENOSPC, short writes, bit flips, and
+//! kill-mid-append on a schedule.
 //!
 //! Because the simulator is deterministic, a cache hit is not an
 //! approximation: the stored outcome is bit-identical to what a fresh run
@@ -31,11 +35,13 @@
 #![warn(missing_docs)]
 
 pub mod codec;
+pub mod faults;
 pub mod json;
 pub mod journal;
 pub mod store;
 
-pub use journal::ReplayReport;
+pub use faults::{ChaosFile, Fault, FaultPlan};
+pub use journal::{AppendSink, ReplayReport};
 pub use store::{RunKey, RunStore, StoreStats, SCHEMA_VERSION};
 
 use std::fmt;

@@ -22,7 +22,10 @@ use crate::StoreError;
 /// in a way that invalidates cached outcomes. The version participates in
 /// every run key, so a schema bump silently misses old records instead of
 /// misreading them.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// v2: `RunOutcome` gained the `stalled` flag and truncated runs report
+/// the horizon (not a placeholder) for unfinished foregrounds.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// A 64-bit content fingerprint identifying one simulation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -85,13 +88,35 @@ impl RunStore {
     /// Opens (creating if needed) the store at `dir` and replays its
     /// journal. Later records win for duplicate keys.
     pub fn open(dir: impl AsRef<Path>) -> Result<RunStore, StoreError> {
+        Self::open_with_faults(dir, crate::faults::FaultPlan::new())
+    }
+
+    /// Opens the store with journal appends routed through a
+    /// [`ChaosFile`](crate::faults::ChaosFile) executing `plan`.
+    ///
+    /// An empty plan behaves identically to [`RunStore::open`] except for
+    /// the extra indirection; a non-empty plan makes scheduled appends
+    /// fail the way real disks fail, which is how the fault-injection
+    /// suite (and `COCHAR_CHAOS_STORE` in the CLI) proves the degradation
+    /// path.
+    pub fn open_with_faults(
+        dir: impl AsRef<Path>,
+        plan: crate::faults::FaultPlan,
+    ) -> Result<RunStore, StoreError> {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)?;
         Self::check_schema(&dir)?;
         let mut index: HashMap<RunKey, Arc<RunOutcome>> = HashMap::new();
-        let (journal, replay) = Journal::open(&dir, |key, outcome| {
-            index.insert(key, Arc::new(outcome)).is_none()
-        })?;
+        let wrap: crate::journal::SinkFactory = if plan.is_empty() {
+            Box::new(|f| Box::new(crate::journal::FileSink::new(f)))
+        } else {
+            Box::new(move |f| Box::new(crate::faults::ChaosFile::new(f, plan.clone())))
+        };
+        let (journal, replay) = Journal::open_with(
+            &dir,
+            |key, outcome| index.insert(key, Arc::new(outcome)).is_none(),
+            wrap,
+        )?;
         Ok(RunStore {
             inner: Arc::new(Mutex::new(Inner { index, journal })),
             dir,
