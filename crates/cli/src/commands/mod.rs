@@ -1,6 +1,7 @@
 //! CLI subcommands.
 
 pub mod bubble;
+pub mod cluster;
 pub mod heatmap;
 pub mod list;
 pub mod pair;

@@ -145,7 +145,7 @@ fn matrix(
     println!("{}", t.render());
     crate::commands::maybe_write_csv(opts, &matrix_csv(&predicted))?;
     if let Some(path) = opts.flag("json") {
-        std::fs::write(path, matrix_json(&predicted))
+        std::fs::write(path, predicted.to_json())
             .map_err(|e| format!("writing {path}: {e}"))?;
         println!("wrote {path}");
     }
@@ -193,27 +193,4 @@ fn matrix_csv(m: &CostMatrix) -> String {
         w.row(&row);
     }
     w.finish()
-}
-
-/// Minimal hand-rolled JSON for the predicted matrix (no serde runtime in
-/// the offline build).
-fn matrix_json(m: &CostMatrix) -> String {
-    let names: Vec<String> = m.names.iter().map(|n| format!("\"{}\"", escape_json(n))).collect();
-    let rows: Vec<String> = m
-        .slow
-        .iter()
-        .map(|row| {
-            let cells: Vec<String> = row.iter().map(|v| format!("{v:.6}")).collect();
-            format!("    [{}]", cells.join(", "))
-        })
-        .collect();
-    format!(
-        "{{\n  \"names\": [{}],\n  \"slowdown\": [\n{}\n  ]\n}}\n",
-        names.join(", "),
-        rows.join(",\n")
-    )
-}
-
-fn escape_json(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
 }

@@ -12,6 +12,7 @@
 //! cochar schedule G-CC CIFAR fotonik3d mcf swaptions blackscholes --policy optimal
 //! cochar throttle G-CC fotonik3d --pads 0,20,60,120
 //! cochar timeline G-CC stream
+//! cochar cluster compare --nodes 1000 --jobs 10000 --seed 7 --json report.json
 //! ```
 //!
 //! Global flags: `--machine bench|scaled|paper`, `--work <f64>`,
@@ -63,6 +64,17 @@ commands:
   predict matrix [apps...]     predicted NxN from solo signatures [--train-apps K]
                                [--csv FILE] [--json FILE]
                                (shared: --train-frac F --lambda L)
+  cluster run [apps...]        discrete-event cluster sim, one policy
+                               [--policy random|first-fit|best-fit|spread|
+                                interference-aware|defrag]
+                               [--knowledge measured|predicted|FILE]
+  cluster compare [apps...]    every policy x {measured, predicted} knowledge;
+                               per-policy regret vs the informed baseline
+                               (shared: --nodes N --slots K --jobs J --util F
+                                --rate R --mean-work W --qos C --slo S
+                                --compose max|product --defrag-period T
+                                --trace FILE --trace-out FILE --train-apps K
+                                --json FILE --csv FILE)
   store ls|gc|verify           inspect or compact a run store (needs --store)
 
 global flags: --machine bench|scaled|paper   --work F   --threads N
@@ -125,6 +137,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "throttle" => commands::throttle::run(&study, &opts),
         "timeline" => commands::timeline::run(&study, &opts),
         "predict" => commands::predict::run(&study, &opts),
+        "cluster" => commands::cluster::run(&study, &opts),
         other => Err(format!("unknown command {other:?}")),
     };
     if result.is_ok() {

@@ -16,9 +16,12 @@ pub struct Opts {
 }
 
 /// Flags that take a value (everything else is a boolean switch).
-const VALUED: [&str; 15] = [
+const VALUED: [&str; 28] = [
     "machine", "work", "threads", "trials", "seed", "csv", "policy", "pads", "max-threads",
     "train-frac", "train-apps", "lambda", "json", "store", "max-retries",
+    // cluster scenario flags
+    "nodes", "slots", "jobs", "rate", "util", "qos", "slo", "compose", "knowledge",
+    "trace", "trace-out", "defrag-period", "mean-work",
 ];
 
 impl Opts {

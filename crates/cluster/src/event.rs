@@ -1,0 +1,138 @@
+//! The discrete-event core: a binary-heap event queue.
+//!
+//! Three event kinds drive the simulation (the stateful-faas-sim shape):
+//! job arrivals, predicted job completions, and periodic defragmentation
+//! ticks. Completion events are *optimistic*: a job's finish time is
+//! predicted from its current progress rate, and any later rate change
+//! (a co-runner arriving or leaving) invalidates the prediction. Instead
+//! of deleting stale entries from the heap, each job carries an epoch
+//! counter; an entry whose epoch is behind the job's is skipped on pop
+//! (lazy invalidation).
+//!
+//! Ordering is fully deterministic: entries sort by time
+//! (`f64::total_cmp`), ties by insertion sequence.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A simulation event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// Job `job` arrives and asks the policy for a placement.
+    JobArrival {
+        /// Index into the job list.
+        job: usize,
+    },
+    /// Job `job` is predicted to finish (valid only while `epoch`
+    /// matches the job's current epoch).
+    JobEnd {
+        /// Index into the job list.
+        job: usize,
+        /// Rate-change generation this prediction was made under.
+        epoch: u64,
+    },
+    /// Periodic consolidation tick.
+    Defragmentation,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    time: f64,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.time.total_cmp(&other.time) == Ordering::Equal && self.seq == other.seq
+    }
+}
+
+impl Eq for Entry {}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Min-heap of timestamped events with deterministic tie-breaking.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Entry>,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedules `event` at `time`.
+    pub fn push(&mut self, time: f64, event: Event) {
+        debug_assert!(time.is_finite(), "event at non-finite time {time}");
+        self.heap.push(Entry { time, seq: self.seq, event });
+        self.seq += 1;
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<(f64, Event)> {
+        self.heap.pop().map(|e| (e.time, e.event))
+    }
+
+    /// The earliest event without removing it.
+    pub fn peek(&self) -> Option<(f64, Event)> {
+        self.heap.peek().map(|e| (e.time, e.event))
+    }
+
+    /// Number of pending entries (including stale ones).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no entries are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order_with_stable_ties() {
+        let mut q = EventQueue::new();
+        q.push(2.0, Event::JobArrival { job: 2 });
+        q.push(1.0, Event::JobArrival { job: 0 });
+        q.push(1.0, Event::JobArrival { job: 1 });
+        q.push(0.5, Event::Defragmentation);
+        assert_eq!(q.pop(), Some((0.5, Event::Defragmentation)));
+        assert_eq!(q.pop(), Some((1.0, Event::JobArrival { job: 0 })));
+        // The tie at t = 1.0 resolves by insertion order.
+        assert_eq!(q.pop(), Some((1.0, Event::JobArrival { job: 1 })));
+        assert_eq!(q.pop(), Some((2.0, Event::JobArrival { job: 2 })));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut q = EventQueue::new();
+        q.push(3.0, Event::JobEnd { job: 7, epoch: 0 });
+        assert_eq!(q.peek(), Some((3.0, Event::JobEnd { job: 7, epoch: 0 })));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((3.0, Event::JobEnd { job: 7, epoch: 0 })));
+        assert!(q.is_empty());
+    }
+}

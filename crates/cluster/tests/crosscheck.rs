@@ -1,0 +1,125 @@
+//! Cross-check: at two slots per node, the cluster engine must reproduce
+//! `cochar_sched::online::simulate` — same jobs, same policy decisions,
+//! same metrics to within 1e-9. The two engines compute completion times
+//! differently (the old one re-derives the next completion every loop,
+//! this one schedules predicted events and re-aims on drift), so this
+//! agreement is what licenses treating the old path as a special case of
+//! the new one rather than a fork.
+
+use cochar_cluster::{simulate, Compose, OnlineAdapter, SimConfig, Workload};
+use cochar_sched::online::{self, OnlinePolicy};
+use cochar_sched::CostMatrix;
+
+/// Four apps with asymmetric directed slowdowns, including a
+/// constructive (sub-1.0) co-run and pairs straddling the QoS cap.
+fn matrix() -> CostMatrix {
+    CostMatrix {
+        names: vec!["a".into(), "b".into(), "c".into(), "d".into()],
+        slow: vec![
+            vec![1.05, 1.80, 0.90, 1.30],
+            vec![1.20, 1.10, 2.20, 1.45],
+            vec![1.60, 1.90, 1.00, 1.15],
+            vec![1.10, 1.55, 1.25, 1.02],
+        ],
+    }
+}
+
+fn cfg(nodes: usize, qos_cap: f64) -> SimConfig {
+    SimConfig {
+        nodes,
+        slots: 2,
+        qos_cap,
+        compose: Compose::Max,
+        ..SimConfig::default()
+    }
+}
+
+/// Runs the same (policy, jobs, cluster) through both engines and
+/// asserts the shared metrics agree to 1e-9.
+fn check<P: OnlinePolicy>(policy: P, seed: u64, nodes: usize, jobs: usize, rate: f64) {
+    let m = matrix();
+    let w = Workload { arrival_rate: rate, mean_work: 8.0, seed };
+    let list = w.generate(jobs, m.len());
+    let qos_cap = 1.5;
+
+    let old = online::simulate(&m, &policy, &list, nodes, qos_cap);
+    let mut adapted = OnlineAdapter::new(policy);
+    let new = simulate(&m, &m, &mut adapted, &list, &cfg(nodes, qos_cap)).unwrap();
+
+    let close = |a: f64, b: f64, what: &str| {
+        assert!(
+            (a - b).abs() <= 1e-9,
+            "{what} diverged (seed {seed}, {nodes} nodes, {jobs} jobs): old {a} vs new {b}"
+        );
+    };
+    close(old.makespan, new.makespan, "makespan");
+    close(old.mean_stretch, new.mean_stretch, "mean_stretch");
+    close(old.node_seconds, new.node_seconds, "node_seconds");
+    close(old.qos_violation_time, new.qos_violation_time, "qos_violation_time");
+}
+
+#[test]
+fn first_fit_agrees_across_engines() {
+    for seed in [1, 7, 42] {
+        check(online::FirstFit, seed, 16, 300, 3.0);
+    }
+}
+
+#[test]
+fn interference_aware_agrees_across_engines() {
+    for seed in [1, 7, 42] {
+        check(online::InterferenceAware::new(1.5), seed, 16, 300, 3.0);
+    }
+}
+
+#[test]
+fn overloaded_cluster_with_queueing_agrees() {
+    // Few nodes, hot arrival rate: the queue is exercised hard.
+    check(online::FirstFit, 11, 4, 200, 2.5);
+    check(online::InterferenceAware::new(1.5), 11, 4, 200, 2.5);
+}
+
+#[test]
+fn simultaneous_arrivals_agree() {
+    // Arrival ties stress the batching epsilon in both engines.
+    let m = matrix();
+    let jobs: Vec<cochar_cluster::Job> = (0..40)
+        .map(|i| cochar_cluster::Job {
+            app: i % m.len(),
+            arrival: (i / 8) as f64 * 4.0,
+            work: 5.0 + (i % 3) as f64,
+        })
+        .collect();
+    let old = online::simulate(&m, &online::FirstFit, &jobs, 8, 1.5);
+    let mut adapted = OnlineAdapter::new(online::FirstFit);
+    let new = simulate(&m, &m, &mut adapted, &jobs, &cfg(8, 1.5)).unwrap();
+    assert!((old.makespan - new.makespan).abs() <= 1e-9);
+    assert!((old.mean_stretch - new.mean_stretch).abs() <= 1e-9);
+    assert!((old.node_seconds - new.node_seconds).abs() <= 1e-9);
+    assert!((old.qos_violation_time - new.qos_violation_time).abs() <= 1e-9);
+}
+
+#[test]
+fn native_policies_match_their_sched_counterparts_end_to_end() {
+    // cluster::Spread reimplements sched FirstFit at two slots, and
+    // cluster::InterferenceAware reimplements sched InterferenceAware;
+    // whole-simulation metrics must agree, not just single decisions.
+    let m = matrix();
+    let w = Workload { arrival_rate: 3.0, mean_work: 8.0, seed: 23 };
+    let list = w.generate(400, m.len());
+
+    let old = online::simulate(&m, &online::FirstFit, &list, 12, 1.5);
+    let mut spread = cochar_cluster::policy::Spread;
+    let new = simulate(&m, &m, &mut spread, &list, &cfg(12, 1.5)).unwrap();
+    assert!((old.makespan - new.makespan).abs() <= 1e-9);
+    assert!((old.mean_stretch - new.mean_stretch).abs() <= 1e-9);
+    assert!((old.node_seconds - new.node_seconds).abs() <= 1e-9);
+
+    let old = online::simulate(&m, &online::InterferenceAware::new(1.5), &list, 12, 1.5);
+    let mut ia = cochar_cluster::policy::InterferenceAware::new(1.5);
+    let new = simulate(&m, &m, &mut ia, &list, &cfg(12, 1.5)).unwrap();
+    assert!((old.makespan - new.makespan).abs() <= 1e-9);
+    assert!((old.mean_stretch - new.mean_stretch).abs() <= 1e-9);
+    assert!((old.node_seconds - new.node_seconds).abs() <= 1e-9);
+    assert!((old.qos_violation_time - new.qos_violation_time).abs() <= 1e-9);
+}

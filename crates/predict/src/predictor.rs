@@ -83,6 +83,30 @@ impl Predictor {
         self.model.predict_matrix(&sigs)
     }
 
+    /// The O(N) matrix-export path in one call: fit on the first
+    /// `train_apps` of `names` (K² measured pair runs), then predict the
+    /// full N×N matrix for all of `names` from solo signatures alone.
+    /// This is the knowledge matrix `cochar cluster compare` places from
+    /// when it quantifies predicted-vs-measured policy quality.
+    ///
+    /// # Panics
+    /// Panics if `train_apps` is not in `2..=names.len()`.
+    pub fn export_matrix(
+        study: &Study,
+        names: &[&str],
+        train_apps: usize,
+        config: PredictorConfig,
+    ) -> CostMatrix {
+        assert!(
+            (2..=names.len()).contains(&train_apps),
+            "train_apps {} outside 2..={}",
+            train_apps,
+            names.len()
+        );
+        let (p, _) = Predictor::train(study, &names[..train_apps], config);
+        p.predict_for(study, names)
+    }
+
     /// Accuracy on the held-out test pairs (empty split ⇒ perfect score).
     pub fn test_evaluation(&self) -> Evaluation {
         Evaluation::of_samples(&self.predicted_matrix(), &self.split.test)
@@ -140,6 +164,17 @@ mod tests {
         assert_eq!(a.model.weights, b.model.weights);
         let (ma, mb) = (a.predicted_matrix(), b.predicted_matrix());
         assert_eq!(ma.slow, mb.slow);
+    }
+
+    #[test]
+    fn export_matrix_covers_apps_beyond_the_training_set() {
+        let s = study();
+        let m = Predictor::export_matrix(&s, &APPS, 3, PredictorConfig::default());
+        assert_eq!(m.names.len(), APPS.len());
+        assert!(m.slow.iter().flatten().all(|v| v.is_finite() && *v > 0.0));
+        // Deterministic: the export is a pure function of (study, config).
+        let again = Predictor::export_matrix(&study(), &APPS, 3, PredictorConfig::default());
+        assert_eq!(m.slow, again.slow);
     }
 
     #[test]

@@ -74,6 +74,73 @@ impl CostMatrix {
             .map(|b| self.slow[a][b])
             .fold(1.0, f64::max)
     }
+
+    /// Resolves an application label — a name from `names` or a numeric
+    /// index — to a matrix index.
+    pub fn index_of(&self, label: &str) -> Result<usize, String> {
+        if let Some(i) = self.names.iter().position(|n| n == label) {
+            return Ok(i);
+        }
+        match label.parse::<usize>() {
+            Ok(i) if i < self.len() => Ok(i),
+            _ => Err(format!("unknown application {label:?} (not a matrix name or index)")),
+        }
+    }
+
+    /// Renders the matrix in the interchange JSON form
+    /// `{"names": [...], "slowdown": [[...]]}` — the format
+    /// `cochar predict matrix --json` emits and `cochar cluster --matrix
+    /// FILE` consumes. Deterministic: fixed key order, 6-decimal cells.
+    pub fn to_json(&self) -> String {
+        let names: Vec<String> =
+            self.names.iter().map(|n| cochar_store::json::Json::str(n.as_str()).render()).collect();
+        let rows: Vec<String> = self
+            .slow
+            .iter()
+            .map(|row| {
+                let cells: Vec<String> = row.iter().map(|v| format!("{v:.6}")).collect();
+                format!("    [{}]", cells.join(", "))
+            })
+            .collect();
+        format!(
+            "{{\n  \"names\": [{}],\n  \"slowdown\": [\n{}\n  ]\n}}\n",
+            names.join(", "),
+            rows.join(",\n")
+        )
+    }
+
+    /// Parses the interchange JSON form produced by [`CostMatrix::to_json`].
+    pub fn from_json(s: &str) -> Result<CostMatrix, String> {
+        let doc = cochar_store::json::Json::parse(s).map_err(|e| e.to_string())?;
+        let names: Vec<String> = doc
+            .field("names")
+            .and_then(|v| v.as_arr())
+            .map_err(|e| e.to_string())?
+            .iter()
+            .map(|n| n.as_str().map(String::from).map_err(|e| e.to_string()))
+            .collect::<Result<_, _>>()?;
+        let slow: Vec<Vec<f64>> = doc
+            .field("slowdown")
+            .and_then(|v| v.as_arr())
+            .map_err(|e| e.to_string())?
+            .iter()
+            .map(|row| {
+                row.as_arr()
+                    .map_err(|e| e.to_string())?
+                    .iter()
+                    .map(|v| v.as_f64().map_err(|e| e.to_string()))
+                    .collect::<Result<Vec<f64>, _>>()
+            })
+            .collect::<Result<_, _>>()?;
+        let n = names.len();
+        if slow.len() != n || slow.iter().any(|r| r.len() != n) {
+            return Err(format!("slowdown matrix is not {n}x{n}"));
+        }
+        if let Some(bad) = slow.iter().flatten().find(|v| !v.is_finite() || **v <= 0.0) {
+            return Err(format!("slowdown cell {bad} is not a positive finite number"));
+        }
+        Ok(CostMatrix { names, slow })
+    }
 }
 
 #[cfg(test)]
@@ -99,6 +166,39 @@ mod tests {
         assert!((m.cost(0, 1) - 1.9).abs() < 1e-12);
         assert!((m.cost(1, 0) - 1.9).abs() < 1e-12);
         assert!((m.directed(1, 0) - 1.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_round_trip_preserves_names_and_cells() {
+        let m = sample();
+        let back = CostMatrix::from_json(&m.to_json()).unwrap();
+        assert_eq!(back.names, m.names);
+        for i in 0..m.len() {
+            for j in 0..m.len() {
+                assert!((back.slow[i][j] - m.slow[i][j]).abs() < 1e-6);
+            }
+        }
+        // Same serialization twice: byte-identical (the interchange file
+        // is part of deterministic report pipelines).
+        assert_eq!(m.to_json(), back.to_json());
+    }
+
+    #[test]
+    fn from_json_rejects_ragged_and_nonpositive_matrices() {
+        assert!(CostMatrix::from_json("{\"names\": [\"a\"], \"slowdown\": []}").is_err());
+        assert!(
+            CostMatrix::from_json("{\"names\": [\"a\"], \"slowdown\": [[-1.0]]}").is_err()
+        );
+        assert!(CostMatrix::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn index_of_resolves_names_and_numeric_labels() {
+        let m = sample();
+        assert_eq!(m.index_of("c").unwrap(), 2);
+        assert_eq!(m.index_of("3").unwrap(), 3);
+        assert!(m.index_of("nope").is_err());
+        assert!(m.index_of("9").is_err());
     }
 
     #[test]

@@ -170,14 +170,20 @@ pub fn simulate(
     let mut node_seconds = 0.0;
 
     // Progress rate of a job of app `me` given its node's occupants: solo
-    // runs at 1.0; shared nodes run at 1/slowdown (a same-app partner uses
-    // the matrix diagonal, i.e. the self-co-run slowdown).
+    // runs at 1.0; shared nodes run at `1 / directed(me, other)` (a
+    // same-app partner uses the matrix diagonal, i.e. the self-co-run
+    // slowdown).
+    //
+    // Convention: *directed* slowdowns drive both progress rates and QoS
+    // accounting. `directed(me, other)` below 1.0 is a constructive
+    // co-run (cache-friendly sharing) and legitimately speeds `me` up —
+    // it is not clamped away.
     let rate = |matrix: &CostMatrix, me: usize, node: &[usize]| -> f64 {
         if node.len() < 2 {
             return 1.0;
         }
         let other = node.iter().copied().find(|&a| a != me).unwrap_or(me);
-        1.0 / matrix.directed(me, other).max(1.0)
+        1.0 / matrix.directed(me, other)
     };
 
     loop {
@@ -210,7 +216,15 @@ pub fn simulate(
             if !n.is_empty() {
                 node_seconds += dt;
             }
-            if n.len() == 2 && matrix.cost(n[0], n[1]) >= qos_cap {
+            // QoS uses the same directed convention as `rate`: a shared
+            // node is in violation while *either* occupant's directed
+            // slowdown reaches the cap (for a pair this equals the
+            // symmetric `cost`, but stating it in directed terms keeps
+            // rates and violations on one convention).
+            if n.len() == 2
+                && (matrix.directed(n[0], n[1]) >= qos_cap
+                    || matrix.directed(n[1], n[0]) >= qos_cap)
+            {
                 qos_violation_time += dt;
             }
         }
@@ -242,7 +256,7 @@ pub fn simulate(
                 Decision::Queue => break,
                 d => {
                     queue.pop_front();
-                    start(d, qjob, jobs, &mut node_jobs, &mut node_members, &mut running);
+                    start(d, qjob, jobs, &mut node_jobs, &mut node_members, &mut running, policy.name());
                 }
             }
         }
@@ -253,7 +267,7 @@ pub fn simulate(
             let view = View { matrix, nodes: &node_jobs, app: jobs[j].app };
             match policy.place(&view) {
                 Decision::Queue => queue.push_back(j),
-                d => start(d, j, jobs, &mut node_jobs, &mut node_members, &mut running),
+                d => start(d, j, jobs, &mut node_jobs, &mut node_members, &mut running, policy.name()),
             }
         }
     }
@@ -269,6 +283,10 @@ pub fn simulate(
     };
     return OnlineOutcome { makespan, mean_stretch, qos_violation_time, node_seconds };
 
+    // Starts `job` where the policy decided, validating the decision
+    // first: an impossible placement is a bug in the *policy*, and must
+    // surface as a named "policy error" panic rather than corrupt the
+    // slot bookkeeping (and every metric downstream of it).
     fn start(
         d: Decision,
         job: usize,
@@ -276,14 +294,24 @@ pub fn simulate(
         node_jobs: &mut [Vec<usize>],
         node_members: &mut [Vec<usize>],
         running: &mut Vec<Running>,
+        policy: &str,
     ) {
         let node = match d {
-            Decision::EmptyNode => node_jobs
-                .iter()
-                .position(|n| n.is_empty())
-                .expect("policy chose EmptyNode without one"),
+            Decision::EmptyNode => match node_jobs.iter().position(|n| n.is_empty()) {
+                Some(node) => node,
+                None => panic!("policy error ({policy}): chose EmptyNode with no empty node"),
+            },
             Decision::CoLocate { node } => {
-                assert!(node_jobs[node].len() == 1, "policy co-located onto a full node");
+                assert!(
+                    node < node_jobs.len(),
+                    "policy error ({policy}): co-located onto node {node} of {}",
+                    node_jobs.len()
+                );
+                assert!(
+                    node_jobs[node].len() == 1,
+                    "policy error ({policy}): co-located onto node {node} with {} occupant(s)",
+                    node_jobs[node].len()
+                );
                 node
             }
             Decision::Queue => unreachable!(),
@@ -402,6 +430,83 @@ mod tests {
         assert_eq!(out.qos_violation_time, 0.0);
         // Two run together (~10.5), then the third (~10 more).
         assert!(out.makespan > 15.0 && out.makespan < 25.0, "makespan {}", out.makespan);
+    }
+
+    #[test]
+    fn asymmetric_directed_slowdowns_drive_both_rates_and_qos() {
+        // Regression for the rate/QoS inconsistency: `rate` used to clamp
+        // directed slowdowns to >= 1.0, silently discarding constructive
+        // co-runs, while QoS accounting looked at the symmetric cost.
+        // app 0 *speeds up* next to app 1 (0.8x), app 1 suffers 1.6x.
+        let m = CostMatrix {
+            names: vec!["winner".into(), "loser".into()],
+            slow: vec![vec![1.0, 0.8], vec![1.6, 1.0]],
+        };
+        let jobs = burst(&[0, 1]);
+        let out = simulate(&m, &FirstFit, &jobs, 1, 1.5);
+        // Job 0 runs at 1/0.8 = 1.25x and finishes at t = 8; job 1 ran at
+        // 1/1.6 until then (remaining 10 - 8*0.625 = 5) and solo after,
+        // finishing at t = 13.
+        assert!((out.makespan - 13.0).abs() < 1e-9, "makespan {}", out.makespan);
+        assert!(
+            (out.mean_stretch - (0.8 + 1.3) / 2.0).abs() < 1e-9,
+            "stretch {}",
+            out.mean_stretch
+        );
+        // QoS: the 1.6 direction breaches the 1.5 cap while both run.
+        assert!((out.qos_violation_time - 8.0).abs() < 1e-9, "qos {}", out.qos_violation_time);
+    }
+
+    /// A deliberately broken policy for the validation tests.
+    struct Broken(Decision);
+
+    impl OnlinePolicy for Broken {
+        fn name(&self) -> &'static str {
+            "broken"
+        }
+
+        fn place(&self, _: &View<'_>) -> Decision {
+            self.0
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "policy error (broken)")]
+    fn colocating_onto_a_full_node_is_a_named_policy_error() {
+        let m = matrix();
+        // Node 0 fills with the first two jobs; the third CoLocate{0} is
+        // impossible and must be called out, not silently mis-booked.
+        let jobs = burst(&[0, 0, 0]);
+        struct FillThenBreak;
+        impl OnlinePolicy for FillThenBreak {
+            fn name(&self) -> &'static str {
+                "broken"
+            }
+            fn place(&self, view: &View<'_>) -> Decision {
+                match view.nodes[0].len() {
+                    0 => Decision::EmptyNode,
+                    _ => Decision::CoLocate { node: 0 },
+                }
+            }
+        }
+        simulate(&m, &FillThenBreak, &jobs, 1, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "policy error (broken)")]
+    fn empty_node_decision_without_an_empty_node_is_a_named_policy_error() {
+        let m = matrix();
+        let jobs = burst(&[0, 0, 0]);
+        // One node: the third EmptyNode decision has nowhere to go.
+        simulate(&m, &Broken(Decision::EmptyNode), &jobs, 1, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "policy error (broken)")]
+    fn out_of_range_colocate_is_a_named_policy_error() {
+        let m = matrix();
+        let jobs = burst(&[0]);
+        simulate(&m, &Broken(Decision::CoLocate { node: 99 }), &jobs, 2, 1.5);
     }
 
     #[test]

@@ -18,6 +18,8 @@
 //! * [`predict`] — counter-signature interference prediction (O(N) solo
 //!   signatures instead of the O(N²) pair sweep).
 //! * [`sched`] — consolidation policies over measured or predicted costs.
+//! * [`cluster`] — discrete-event cluster-scale placement simulation with
+//!   policy-regret accounting (measured vs predicted knowledge).
 //!
 //! ## Quick start
 //!
@@ -41,6 +43,7 @@
 
 #![warn(missing_docs)]
 
+pub use cochar_cluster as cluster;
 pub use cochar_colocation as colocation;
 pub use cochar_graphs as graphs;
 pub use cochar_machine as machine;
@@ -51,6 +54,9 @@ pub use cochar_workloads as workloads;
 
 /// The most commonly used types in one import.
 pub mod prelude {
+    pub use cochar_cluster::{
+        ClusterOutcome, ClusterPolicy, Compose, PolicyKind, RegretReport, SimConfig, Workload,
+    };
     pub use cochar_colocation::{
         classify, Heatmap, PairClass, PairResult, Profile, ScalabilityClass,
         ScalabilityCurve, SoloResult, Study,
