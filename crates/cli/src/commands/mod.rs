@@ -1,5 +1,6 @@
 //! CLI subcommands.
 
+pub mod bench;
 pub mod bubble;
 pub mod cluster;
 pub mod heatmap;

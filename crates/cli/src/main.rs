@@ -76,6 +76,10 @@ commands:
                                 --trace FILE --trace-out FILE --train-apps K
                                 --json FILE --csv FILE)
   store ls|gc|verify           inspect or compact a run store (needs --store)
+  bench                        engine throughput harness (solo + pair sweep)
+                               [--json FILE (default BENCH_engine.json)]
+                               [--pin ID: record an entry] [--check]
+                               [--tolerance F (default 0.10)] [--reps N]
 
 global flags: --machine bench|scaled|paper   --work F   --threads N
               --trials N   --seed N
@@ -112,7 +116,12 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         // Store maintenance needs no machine or registry.
         return commands::store::run(&opts).map(|()| ExitCode::SUCCESS);
     }
-    let study = build_study(&opts)?;
+    if opts.command == "bench" {
+        // The bench harness builds its own fresh study per measurement
+        // rep (study-level caches would otherwise hide engine cost).
+        return commands::bench::run(&opts);
+    }
+    let study = build_study(&opts, 1.0)?;
     if opts.switch("resume") {
         let store = study.store().expect("build_study enforces --store with --resume");
         let report = store.replay_report();
@@ -167,14 +176,17 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     })
 }
 
-fn build_study(opts: &Opts) -> Result<Study, String> {
+/// Builds the study from the global flags. `default_work` is the work
+/// scale used when `--work` is absent (1.0 for measurement commands,
+/// smoke scale for `bench`).
+fn build_study(opts: &Opts, default_work: f64) -> Result<Study, String> {
     let cfg = match opts.flag("machine").unwrap_or("bench") {
         "bench" => MachineConfig::bench(),
         "scaled" => MachineConfig::scaled(),
         "paper" => MachineConfig::paper(),
         other => return Err(format!("unknown machine {other:?} (bench|scaled|paper)")),
     };
-    let work: f64 = opts.flag_parse("work", 1.0)?;
+    let work: f64 = opts.flag_parse("work", default_work)?;
     let seed: u64 = opts.flag_parse("seed", 1)?;
     let threads: usize = opts.flag_parse("threads", 4)?;
     let trials: u32 = opts.flag_parse("trials", 1)?;

@@ -16,9 +16,11 @@ pub struct Opts {
 }
 
 /// Flags that take a value (everything else is a boolean switch).
-const VALUED: [&str; 28] = [
+const VALUED: [&str; 31] = [
     "machine", "work", "threads", "trials", "seed", "csv", "policy", "pads", "max-threads",
     "train-frac", "train-apps", "lambda", "json", "store", "max-retries",
+    // bench flags
+    "pin", "tolerance", "reps",
     // cluster scenario flags
     "nodes", "slots", "jobs", "rate", "util", "qos", "slo", "compose", "knowledge",
     "trace", "trace-out", "defrag-period", "mean-work",

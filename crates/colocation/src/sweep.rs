@@ -13,6 +13,12 @@
 //! typed [`CellFailure`] instead of an unwind, leaving callers to decide
 //! between holes-in-the-output (`--keep-going`) and stopping the sweep
 //! (`--fail-fast`).
+//!
+//! Workers pin themselves round-robin onto the host CPUs the process is
+//! allowed to run on (see [`affinity`]): sweep cells are themselves
+//! timing-sensitive simulations, and keeping each worker on one core
+//! avoids migration-induced wall-clock noise in the measured cells. Set
+//! `COCHAR_NO_PIN` to leave scheduling to the OS.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -174,19 +180,33 @@ where
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<Result<R, CellFailure>>>> =
         items.iter().map(|_| Mutex::new(None)).collect();
+    let cpus = if std::env::var_os("COCHAR_NO_PIN").is_none() {
+        affinity::allowed_cpus()
+    } else {
+        Vec::new()
+    };
     std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| loop {
-                if stop.load(Ordering::Relaxed) {
-                    break;
+        for w in 0..workers {
+            let (stop, next, slots) = (&stop, &next, &slots);
+            let (run_cell, settle) = (&run_cell, &settle);
+            let cpus = &cpus;
+            s.spawn(move || {
+                if let Some(&cpu) = cpus.get(w % cpus.len().max(1)) {
+                    // Best-effort: an unpinnable worker still sweeps.
+                    affinity::pin_to(cpu);
                 }
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= total {
-                    break;
+                loop {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= total {
+                        break;
+                    }
+                    let res = run_cell(i, &items[i]);
+                    settle(&res);
+                    *lock_tolerant(&slots[i]) = Some(res);
                 }
-                let res = run_cell(i, &items[i]);
-                settle(&res);
-                *lock_tolerant(&slots[i]) = Some(res);
             });
         }
     });
@@ -241,9 +261,78 @@ where
     .unwrap_all()
 }
 
+/// Worker→CPU pinning through `sched_{get,set}affinity(2)`, declared
+/// directly against the C library (the workspace deliberately carries no
+/// `libc` crate). Best-effort everywhere: any failure — syscall error,
+/// restricted cpuset, non-Linux host — degrades to unpinned workers.
+#[cfg(target_os = "linux")]
+pub mod affinity {
+    /// Bits in a kernel `cpu_set_t` (glibc default: 1024 CPUs).
+    const SET_WORDS: usize = 1024 / 64;
+
+    extern "C" {
+        fn sched_getaffinity(pid: i32, cpusetsize: usize, mask: *mut u64) -> i32;
+        fn sched_setaffinity(pid: i32, cpusetsize: usize, mask: *const u64) -> i32;
+    }
+
+    /// CPU indices the calling process may run on, in ascending order.
+    /// Empty when the query fails (callers then skip pinning).
+    pub fn allowed_cpus() -> Vec<usize> {
+        let mut mask = [0u64; SET_WORDS];
+        let rc = unsafe {
+            sched_getaffinity(0, std::mem::size_of_val(&mask), mask.as_mut_ptr())
+        };
+        if rc != 0 {
+            return Vec::new();
+        }
+        (0..SET_WORDS * 64).filter(|&c| mask[c / 64] >> (c % 64) & 1 == 1).collect()
+    }
+
+    /// Pins the calling thread to `cpu`. Returns whether the kernel
+    /// accepted the new mask.
+    pub fn pin_to(cpu: usize) -> bool {
+        if cpu >= SET_WORDS * 64 {
+            return false;
+        }
+        let mut mask = [0u64; SET_WORDS];
+        mask[cpu / 64] |= 1 << (cpu % 64);
+        unsafe { sched_setaffinity(0, std::mem::size_of_val(&mask), mask.as_ptr()) == 0 }
+    }
+}
+
+/// Stub for non-Linux hosts: nothing is ever pinned.
+#[cfg(not(target_os = "linux"))]
+pub mod affinity {
+    /// Always empty: pinning is unsupported here.
+    pub fn allowed_cpus() -> Vec<usize> {
+        Vec::new()
+    }
+
+    /// Always `false`: pinning is unsupported here.
+    pub fn pin_to(_cpu: usize) -> bool {
+        false
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// On Linux the process must be allowed on at least one CPU, and
+    /// pinning a thread to an allowed CPU must succeed. Run on a scratch
+    /// thread so the pin does not outlive the test.
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn pinning_to_an_allowed_cpu_succeeds() {
+        let cpus = affinity::allowed_cpus();
+        assert!(!cpus.is_empty(), "process has no allowed CPUs?");
+        let first = cpus[0];
+        let pinned = std::thread::spawn(move || affinity::pin_to(first))
+            .join()
+            .expect("pin thread panicked");
+        assert!(pinned, "pinning to allowed CPU {first} failed");
+        assert!(!affinity::pin_to(usize::MAX), "out-of-range CPU must be rejected");
+    }
 
     #[test]
     fn preserves_order() {

@@ -63,6 +63,12 @@ pub struct CoreCounters {
     pub dep_stall_cycles: u64,
     /// Cycles stalled on MSHR capacity (MLP limit).
     pub mlp_stall_cycles: u64,
+    /// Cycles burned without retiring anything — today only the
+    /// zero-progress livelock guard, which skips the core to its quantum
+    /// deadline. Keeping them on a counter preserves cycle conservation:
+    /// every elapsed cycle is attributable, so CPI and stall accounting
+    /// cannot silently lose up to a quantum per guard trip.
+    pub idle_cycles: u64,
     /// Per-access-site breakdown (sparse; sorted by `pc` after a run).
     pub pc_stats: Vec<PcCounters>,
 }
@@ -162,6 +168,7 @@ impl CoreCounters {
         self.prefetch_throttled += other.prefetch_throttled;
         self.dep_stall_cycles += other.dep_stall_cycles;
         self.mlp_stall_cycles += other.mlp_stall_cycles;
+        self.idle_cycles += other.idle_cycles;
         for theirs in &other.pc_stats {
             match self.pc_stats.binary_search_by_key(&theirs.pc, |p| p.pc) {
                 Ok(i) => {

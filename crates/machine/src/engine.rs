@@ -24,6 +24,7 @@ use serde::{Deserialize, Serialize};
 use crate::cache::Cache;
 use crate::config::MachineConfig;
 use crate::counters::{CoreCounters, PcCounters};
+use crate::fastmap::FastMap;
 use crate::memctrl::{EpochTraffic, MemoryController};
 use crate::prefetch::{AccessObservation, Msr, PrefetchReq, PrefetchUnit};
 use crate::LINE_BYTES;
@@ -152,6 +153,7 @@ impl RunOutcome {
 pub struct Machine {
     cfg: MachineConfig,
     msr: Msr,
+    reference: bool,
 }
 
 impl Machine {
@@ -159,12 +161,25 @@ impl Machine {
     /// configuration is a design-time constant, not runtime input).
     pub fn new(cfg: MachineConfig) -> Self {
         cfg.validate().expect("invalid machine config");
-        Machine { cfg, msr: Msr::all_on() }
+        Machine { cfg, msr: Msr::all_on(), reference: false }
     }
 
     /// Sets the prefetcher MSR for subsequent runs.
     pub fn with_msr(mut self, msr: Msr) -> Self {
         self.msr = msr;
+        self
+    }
+
+    /// Runs subsequent simulations on the *reference* engine: the plain
+    /// pre-optimization code paths (two-scan cache lookups, SipHash
+    /// in-flight map, per-pop watchdog summation, strict heap turn-taking,
+    /// per-request epoch division). Outcomes are byte-identical to the
+    /// default fast engine — the equivalence suite runs both and proves
+    /// it — so this is a verification instrument, not a behavior switch,
+    /// and deliberately not part of `MachineConfig` (it must not alter
+    /// run-store fingerprints).
+    pub fn with_reference_engine(mut self, reference: bool) -> Self {
+        self.reference = reference;
         self
     }
 
@@ -195,7 +210,7 @@ impl Machine {
             apps.iter().any(|a| a.role == Role::Foreground),
             "at least one foreground app required"
         );
-        Engine::new(&self.cfg, self.msr, apps).run()
+        Engine::new(&self.cfg, self.msr, apps, self.reference).run()
     }
 }
 
@@ -286,21 +301,68 @@ enum AdvanceResult {
     Finished,
 }
 
+/// The engine's in-flight line set (`line -> fill completion cycle`),
+/// probed up to three times per shared access. The fast variant is the
+/// open-addressing [`FastMap`]; the reference variant keeps the original
+/// SipHash `HashMap` for the equivalence suite. Both expose value-level
+/// semantics only (no iteration order leaks into outcomes).
+enum Inflight {
+    Reference(HashMap<u64, u64>),
+    Fast(FastMap),
+}
+
+impl Inflight {
+    #[inline]
+    fn get(&self, line: u64) -> Option<u64> {
+        match self {
+            Inflight::Reference(m) => m.get(&line).copied(),
+            Inflight::Fast(m) => m.get(line),
+        }
+    }
+
+    #[inline]
+    fn insert(&mut self, line: u64, completion: u64) {
+        match self {
+            Inflight::Reference(m) => {
+                m.insert(line, completion);
+            }
+            Inflight::Fast(m) => m.insert(line, completion),
+        }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        match self {
+            Inflight::Reference(m) => m.len(),
+            Inflight::Fast(m) => m.len(),
+        }
+    }
+
+    /// Drops entries whose fill completed at or before `now`.
+    fn prune(&mut self, now: u64) {
+        match self {
+            Inflight::Reference(m) => m.retain(|_, &mut c| c > now),
+            Inflight::Fast(m) => m.retain(|_, c| c > now),
+        }
+    }
+}
+
 struct Engine<'a> {
     cfg: &'a MachineConfig,
     cores: Vec<CoreState>,
     privs: Vec<PrivCache>,
     llc: Cache,
     mem: MemoryController,
-    inflight: HashMap<u64, u64>,
+    inflight: Inflight,
     pf_buf: Vec<PrefetchReq>,
     app_names: Vec<String>,
     app_roles: Vec<Role>,
     app_threads: Vec<usize>,
+    reference: bool,
 }
 
 impl<'a> Engine<'a> {
-    fn new(cfg: &'a MachineConfig, msr: Msr, apps: &[AppSpec]) -> Self {
+    fn new(cfg: &'a MachineConfig, msr: Msr, apps: &[AppSpec], reference: bool) -> Self {
         let mut cores = Vec::new();
         let mut privs = Vec::new();
         for (ai, app) in apps.iter().enumerate() {
@@ -337,23 +399,38 @@ impl<'a> Engine<'a> {
                 });
             }
         }
+        let mut llc = Cache::new(&cfg.llc);
+        let mut mem = MemoryController::with_channels(
+            cfg.line_service_millicycles,
+            cfg.dram_latency,
+            cfg.epoch_cycles,
+            apps.len(),
+            cfg.channels,
+        );
+        if reference {
+            llc.set_reference(true);
+            mem.set_reference(true);
+            for p in &mut privs {
+                p.l1.set_reference(true);
+                p.l2.set_reference(true);
+            }
+        }
         Engine {
             cfg,
             cores,
             privs,
-            llc: Cache::new(&cfg.llc),
-            mem: MemoryController::with_channels(
-                cfg.line_service_millicycles,
-                cfg.dram_latency,
-                cfg.epoch_cycles,
-                apps.len(),
-                cfg.channels,
-            ),
-            inflight: HashMap::new(),
+            llc,
+            mem,
+            inflight: if reference {
+                Inflight::Reference(HashMap::new())
+            } else {
+                Inflight::Fast(FastMap::new())
+            },
             pf_buf: Vec::with_capacity(16),
             app_names: apps.iter().map(|a| a.name.clone()).collect(),
             app_roles: apps.iter().map(|a| a.role).collect(),
             app_threads: apps.iter().map(|a| a.threads).collect(),
+            reference,
         }
     }
 
@@ -376,8 +453,23 @@ impl<'a> Engine<'a> {
         // instruction retirement, against the configured stall window.
         let mut last_retired: u64 = 0;
         let mut retired_at: u64 = 0;
+        // Fast-path running total of retired instructions: `advance` on
+        // core `i` is the only place instruction counters move, so adding
+        // each call's delta keeps this equal to the per-pop sum the
+        // reference path computes — without the O(cores) walk per event.
+        let mut retired_total: u64 = 0;
+        // The core holding the current turn. `None` means take the next
+        // one from the heap.
+        let mut next: Option<(u64, usize)> = None;
 
-        while let Some(Reverse((t, i))) = heap.pop() {
+        loop {
+            let (t, i) = match next.take() {
+                Some(turn) => turn,
+                None => match heap.pop() {
+                    Some(Reverse(turn)) => turn,
+                    None => break,
+                },
+            };
             if fg_cores_left == 0 {
                 break;
             }
@@ -386,7 +478,11 @@ impl<'a> Engine<'a> {
                 horizon = t;
                 break;
             }
-            let retired: u64 = self.cores.iter().map(|c| c.ctr.instructions).sum();
+            let retired: u64 = if self.reference {
+                self.cores.iter().map(|c| c.ctr.instructions).sum()
+            } else {
+                retired_total
+            };
             if retired > last_retired {
                 last_retired = retired;
                 retired_at = t;
@@ -403,9 +499,26 @@ impl<'a> Engine<'a> {
             if let Some(pm) = self.cores[i].pending.take() {
                 self.shared_access(i, pm);
             }
-            match self.advance(i) {
+            let insns_before = self.cores[i].ctr.instructions;
+            let result = self.advance(i);
+            retired_total += self.cores[i].ctr.instructions - insns_before;
+            match result {
                 AdvanceResult::Paused | AdvanceResult::QuantumExpired => {
-                    heap.push(Reverse((self.cores[i].time, i)));
+                    let nt = self.cores[i].time;
+                    // Stay-on-core fast path: if this core is still ahead
+                    // of every queued turn it would be popped right back,
+                    // so skip the push+pop round trip. The `(time, index)`
+                    // keys are totally ordered (a core is never queued
+                    // twice), making this bit-identical to going through
+                    // the heap; the watchdog/truncation prologue above
+                    // still runs for the retaken turn.
+                    let stays = !self.reference
+                        && heap.peek().is_none_or(|&Reverse(top)| (nt, i) < top);
+                    if stays {
+                        next = Some((nt, i));
+                    } else {
+                        heap.push(Reverse((nt, i)));
+                    }
                 }
                 AdvanceResult::Finished => {
                     let core = &self.cores[i];
@@ -500,6 +613,9 @@ impl<'a> Engine<'a> {
                 return AdvanceResult::QuantumExpired;
             }
             if zero_slots >= ZERO_PROGRESS_SLOTS {
+                // Attribute the skipped span: these cycles elapse without
+                // retirement and must not vanish from the accounting.
+                core.ctr.idle_cycles += deadline - core.time;
                 core.time = deadline;
                 return AdvanceResult::QuantumExpired;
             }
@@ -608,7 +724,7 @@ impl<'a> Engine<'a> {
             // fill-buffer-hit accounting), which is what paces a
             // prefetch-covered stream at the controller's (possibly
             // contended) service rate.
-            completion = match self.inflight.get(&line).copied().filter(|&c| c > base) {
+            completion = match self.inflight.get(line).filter(|&c| c > base) {
                 Some(c) => {
                     let core = &mut self.cores[i];
                     core.ctr.l2_misses += 1;
@@ -632,7 +748,7 @@ impl<'a> Engine<'a> {
             self.cores[i].ctr.l2_misses += 1;
             // --- LLC (shared) ---
             let llc_hit = self.llc.access(line);
-            let inflight_c = self.inflight.get(&line).copied().filter(|&c| c > now);
+            let inflight_c = self.inflight.get(line).filter(|&c| c > now);
             completion = match (llc_hit, inflight_c) {
                 (_, Some(c)) => {
                     // Merged with an in-flight fill (late prefetch or a
@@ -697,9 +813,14 @@ impl<'a> Engine<'a> {
         }
         self.pf_buf = buf;
 
-        // Bound the in-flight map.
-        if self.inflight.len() >= 16_384 {
-            self.inflight.retain(|_, &mut c| c > now);
+        // Bound the in-flight map. The bound is a pure locality knob:
+        // reads filter on `completion > now`, so dead entries are never
+        // observable and pruning earlier or later cannot change outcomes.
+        // 2048 live entries keep the open-addressing table within 64 KiB —
+        // resident in a host L2 — instead of letting it grow to 512 KiB of
+        // randomly-probed cold memory.
+        if self.inflight.len() >= 2_048 {
+            self.inflight.prune(now);
         }
     }
 
@@ -755,18 +876,19 @@ impl<'a> Engine<'a> {
     fn issue_prefetch(&mut self, i: usize, req: PrefetchReq, now: u64, app: usize) {
         let line = req.line;
         // Already on its way?
-        if self.inflight.get(&line).is_some_and(|&c| c > now) {
+        if self.inflight.get(line).is_some_and(|c| c > now) {
             return;
         }
-        // Already in a private level?
-        if self.privs[i].l2.contains(line) {
-            if req.into_l1 && !self.privs[i].l1.contains(line) {
+        // Already in a private level? (Miss probes leave a plan behind so
+        // the fills below skip their insert scans.)
+        if self.privs[i].l2.probe(line) {
+            if req.into_l1 && !self.privs[i].l1.probe(line) {
                 self.fill_l1(i, line, false, true, now, app);
             }
             return;
         }
         // Shared hit: pull into the private levels without memory traffic.
-        if self.llc.contains(line) {
+        if self.llc.probe(line) {
             self.fill_l2(i, line, true, now, app);
             if req.into_l1 {
                 self.fill_l1(i, line, false, true, now, app);
@@ -1024,6 +1146,34 @@ mod tests {
         // nowhere near tiny's 100M-cycle cap.
         assert!(out.horizon < 2_000_000, "fired at {}", out.horizon);
         assert_eq!(out.apps[0].elapsed_cycles, out.horizon);
+    }
+
+    /// Cycle conservation for the livelock guard: every cycle the guard
+    /// skips must land on `idle_cycles`, so a zero-progress core's elapsed
+    /// time is fully attributed (the guard previously burned up to a
+    /// quantum per trip without recording it anywhere).
+    #[test]
+    fn livelock_guard_attributes_skipped_cycles_as_idle() {
+        let mut cfg = MachineConfig::tiny();
+        cfg.stall_cycles = 200_000;
+        let m = Machine::new(cfg);
+        let factory: Arc<dyn StreamFactory> =
+            Arc::new(|_: &StreamParams| Box::new(DeadSpin) as Box<dyn SlotStream>);
+        let out = m.run(&[fg("spin", factory, 1, 0)]);
+        let ctr = &out.apps[0].per_core[0];
+        assert!(ctr.cycles > 0);
+        assert_eq!(
+            ctr.idle_cycles, ctr.cycles,
+            "a pure zero-progress core must account every cycle as idle"
+        );
+    }
+
+    /// The flip side: runs that make progress never touch the idle
+    /// counter, so it stays a pure livelock-guard signal.
+    #[test]
+    fn progressing_runs_accrue_no_idle_cycles() {
+        let out = tiny_machine().run(&[fg("seq", seq_factory(16 * 1024, 100), 1, 0)]);
+        assert_eq!(out.apps[0].counters.idle_cycles, 0);
     }
 
     #[test]

@@ -1,0 +1,218 @@
+//! Open-addressing `u64 -> u64` map for the engine's in-flight line
+//! tracking.
+//!
+//! `std::collections::HashMap` pays SipHash plus control-byte probing on
+//! every lookup; the engine probes the in-flight set up to three times
+//! per shared access, making it one of the hottest dictionaries in the
+//! simulator. This map is specialized for that use: linear probing over
+//! a power-of-two table, a SplitMix64 key mix, and no tombstones —
+//! deletion happens only through [`FastMap::retain`], which rebuilds the
+//! table (the engine prunes rarely, when the map hits its size bound).
+//!
+//! Keys are line numbers; `u64::MAX` is reserved as the empty-slot
+//! sentinel (unreachable as a line number: addresses are `u64` and lines
+//! are `addr / 64`).
+
+/// Empty-slot sentinel. Never a valid line number.
+const EMPTY: u64 = u64::MAX;
+
+/// SplitMix64 finalizer: cheap, well-mixed, deterministic across hosts.
+#[inline]
+fn mix(key: u64) -> u64 {
+    let mut z = key.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Specialized `u64 -> u64` hash map (see module docs).
+pub struct FastMap {
+    keys: Vec<u64>,
+    vals: Vec<u64>,
+    len: usize,
+    mask: usize,
+}
+
+impl FastMap {
+    /// An empty map with a small initial table.
+    pub fn new() -> Self {
+        const INITIAL: usize = 1024;
+        FastMap { keys: vec![EMPTY; INITIAL], vals: vec![0; INITIAL], len: 0, mask: INITIAL - 1 }
+    }
+
+    /// Number of live entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the map holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The value stored under `key`, if any.
+    #[inline]
+    pub fn get(&self, key: u64) -> Option<u64> {
+        debug_assert_ne!(key, EMPTY, "u64::MAX is the empty sentinel");
+        let mut slot = mix(key) as usize & self.mask;
+        loop {
+            let k = self.keys[slot];
+            if k == key {
+                return Some(self.vals[slot]);
+            }
+            if k == EMPTY {
+                return None;
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
+
+    /// Inserts or overwrites `key`.
+    #[inline]
+    pub fn insert(&mut self, key: u64, val: u64) {
+        debug_assert_ne!(key, EMPTY, "u64::MAX is the empty sentinel");
+        // Grow at 3/4 load to keep probe chains short.
+        if (self.len + 1) * 4 > self.keys.len() * 3 {
+            self.grow();
+        }
+        let mut slot = mix(key) as usize & self.mask;
+        loop {
+            let k = self.keys[slot];
+            if k == key {
+                self.vals[slot] = val;
+                return;
+            }
+            if k == EMPTY {
+                self.keys[slot] = key;
+                self.vals[slot] = val;
+                self.len += 1;
+                return;
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
+
+    /// Keeps only entries for which `keep(key, value)` is true. Rebuilds
+    /// the table, so probe chains reset too.
+    pub fn retain(&mut self, mut keep: impl FnMut(u64, u64) -> bool) {
+        let cap = self.keys.len();
+        let old_keys = std::mem::replace(&mut self.keys, vec![EMPTY; cap]);
+        let old_vals = std::mem::take(&mut self.vals);
+        self.vals = vec![0; cap];
+        self.len = 0;
+        for (k, v) in old_keys.into_iter().zip(old_vals) {
+            if k != EMPTY && keep(k, v) {
+                self.insert_rehash(k, v);
+            }
+        }
+    }
+
+    fn grow(&mut self) {
+        let cap = self.keys.len() * 2;
+        let old_keys = std::mem::replace(&mut self.keys, vec![EMPTY; cap]);
+        let old_vals = std::mem::replace(&mut self.vals, vec![0; cap]);
+        self.mask = cap - 1;
+        self.len = 0;
+        for (k, v) in old_keys.into_iter().zip(old_vals) {
+            if k != EMPTY {
+                self.insert_rehash(k, v);
+            }
+        }
+    }
+
+    /// Insert into known-fresh slots (no growth, no overwrite possible).
+    fn insert_rehash(&mut self, key: u64, val: u64) {
+        let mut slot = mix(key) as usize & self.mask;
+        while self.keys[slot] != EMPTY {
+            slot = (slot + 1) & self.mask;
+        }
+        self.keys[slot] = key;
+        self.vals[slot] = val;
+        self.len += 1;
+    }
+}
+
+impl Default for FastMap {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn insert_get_overwrite() {
+        let mut m = FastMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.get(42), None);
+        m.insert(42, 7);
+        assert_eq!(m.get(42), Some(7));
+        m.insert(42, 8);
+        assert_eq!(m.get(42), Some(8));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn grows_past_initial_capacity() {
+        let mut m = FastMap::new();
+        for k in 0..10_000u64 {
+            m.insert(k, k * 3);
+        }
+        assert_eq!(m.len(), 10_000);
+        for k in 0..10_000u64 {
+            assert_eq!(m.get(k), Some(k * 3), "key {k}");
+        }
+        assert_eq!(m.get(10_001), None);
+    }
+
+    #[test]
+    fn retain_drops_and_keeps() {
+        let mut m = FastMap::new();
+        for k in 0..100u64 {
+            m.insert(k, k);
+        }
+        m.retain(|_, v| v % 2 == 0);
+        assert_eq!(m.len(), 50);
+        assert_eq!(m.get(4), Some(4));
+        assert_eq!(m.get(5), None);
+        // Insertion still works after a rebuild.
+        m.insert(5, 99);
+        assert_eq!(m.get(5), Some(99));
+    }
+
+    /// Property: mirrors `std::collections::HashMap` over a random
+    /// workload of inserts, lookups, and retains.
+    #[test]
+    fn matches_std_hashmap_property() {
+        let mut fast = FastMap::new();
+        let mut std_map: HashMap<u64, u64> = HashMap::new();
+        let mut state = 0x1234_5678u64;
+        let mut rng = move || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            mix(state)
+        };
+        for step in 0..50_000 {
+            let key = rng() % 4096; // force collisions
+            match rng() % 10 {
+                0..=5 => {
+                    let val = rng();
+                    fast.insert(key, val);
+                    std_map.insert(key, val);
+                }
+                6..=8 => {
+                    assert_eq!(fast.get(key), std_map.get(&key).copied(), "step {step}");
+                }
+                _ => {
+                    let cut = rng() >> 1;
+                    fast.retain(|_, v| v < cut);
+                    std_map.retain(|_, &mut v| v < cut);
+                }
+            }
+            assert_eq!(fast.len(), std_map.len(), "step {step}");
+        }
+    }
+}

@@ -43,6 +43,7 @@ pub mod cache;
 pub mod config;
 pub mod counters;
 pub mod engine;
+pub mod fastmap;
 pub mod memctrl;
 pub mod prefetch;
 pub mod stable;

@@ -66,6 +66,15 @@ pub struct MemoryController {
     epochs: Vec<EpochTraffic>,
     read_lines: u64,
     write_lines: u64,
+    /// Cached epoch bounds for `record`'s batch fast path: index and
+    /// start cycle of the epoch most recently booked into. Engine request
+    /// times are (nearly) nondecreasing, so almost every request lands in
+    /// the cached epoch and skips the division + resize check.
+    cur_epoch: usize,
+    cur_epoch_start: u64,
+    /// Selects the per-request reference accounting (division every call)
+    /// for the equivalence suite.
+    reference: bool,
 }
 
 impl MemoryController {
@@ -99,7 +108,17 @@ impl MemoryController {
             epochs: Vec::new(),
             read_lines: 0,
             write_lines: 0,
+            cur_epoch: 0,
+            cur_epoch_start: 0,
+            reference: false,
         }
+    }
+
+    /// Selects the reference (per-request division) accounting path.
+    /// Outcome-equivalent to the cached-epoch fast path; exists so the
+    /// equivalence suite can prove that claim run by run.
+    pub fn set_reference(&mut self, reference: bool) {
+        self.reference = reference;
     }
 
     /// Books one line of traffic for `app` into the epoch of the *request*
@@ -110,10 +129,25 @@ impl MemoryController {
     /// booking it there would skew `app_bytes_until` and the bandwidth
     /// time series toward the tail of the run.
     fn record(&mut self, request_cycle: u64, app: usize, write: bool) {
-        let epoch = (request_cycle / self.epoch_cycles) as usize;
-        if epoch >= self.epochs.len() {
-            self.epochs.resize_with(epoch + 1, || EpochTraffic::new(self.apps));
-        }
+        // Fast path: the request lands in the epoch booked into last time
+        // (engine time is nearly monotone, so this is the common case) —
+        // no division, no resize check. `wrapping_sub` makes an earlier
+        // cycle fall through to the slow path as a huge offset.
+        let epoch = if !self.reference
+            && request_cycle.wrapping_sub(self.cur_epoch_start) < self.epoch_cycles
+            && self.cur_epoch < self.epochs.len()
+        {
+            self.cur_epoch
+        } else {
+            let epoch = (request_cycle / self.epoch_cycles) as usize;
+            if epoch >= self.epochs.len() {
+                self.epochs.resize_with(epoch + 1, || EpochTraffic::new(self.apps));
+            }
+            self.cur_epoch = epoch;
+            self.cur_epoch_start = epoch as u64 * self.epoch_cycles;
+            epoch
+        };
+        debug_assert_eq!(epoch, (request_cycle / self.epoch_cycles) as usize);
         let e = &mut self.epochs[epoch];
         if write {
             e.write_bytes[app] += LINE_BYTES;
@@ -341,6 +375,29 @@ mod tests {
         // And `app_bytes_until` at the requesting app's completion sees
         // everything it asked for.
         assert_eq!(c.app_bytes_until(0, 1000), 300 * LINE_BYTES);
+    }
+
+    /// The cached-epoch fast path must book every request into the same
+    /// epoch as the per-request division, including backward time jumps
+    /// and multi-epoch skips.
+    #[test]
+    fn cached_epoch_accounting_matches_reference_for_any_order() {
+        let times =
+            [0u64, 500, 999, 1000, 1500, 1499, 2, 10_000, 9_999, 10_001, 0, 2_000, 1_999];
+        let mut fast = ctrl();
+        let mut slow = ctrl();
+        slow.set_reference(true);
+        for (i, &t) in times.iter().enumerate() {
+            let app = i % 2;
+            if i % 3 == 0 {
+                fast.request_write(t, app);
+                slow.request_write(t, app);
+            } else {
+                fast.request_read(t, app);
+                slow.request_read(t, app);
+            }
+        }
+        assert_eq!(fast.epochs(), slow.epochs());
     }
 
     #[test]

@@ -126,6 +126,7 @@ fn encode_counters(c: &CoreCounters) -> Json {
         ("pt".into(), Json::u64(c.prefetch_throttled)),
         ("ds".into(), Json::u64(c.dep_stall_cycles)),
         ("ms".into(), Json::u64(c.mlp_stall_cycles)),
+        ("id".into(), Json::u64(c.idle_cycles)),
         ("pc".into(), Json::Arr(pc)),
     ])
 }
@@ -167,6 +168,7 @@ fn decode_counters(v: &Json) -> Result<CoreCounters, JsonError> {
         prefetch_throttled: u("pt")?,
         dep_stall_cycles: u("ds")?,
         mlp_stall_cycles: u("ms")?,
+        idle_cycles: u("id")?,
         pc_stats,
     })
 }
@@ -209,6 +211,7 @@ pub(crate) mod tests {
             prefetch_throttled: 20,
             dep_stall_cycles: 400_000,
             mlp_stall_cycles: 90_000,
+            idle_cycles: 1_234,
             pc_stats: vec![
                 PcCounters { pc: 3, accesses: 17, l2_misses: 5, pending_cycles: 999 },
                 PcCounters { pc: 8, accesses: 2, l2_misses: 0, pending_cycles: 0 },

@@ -25,7 +25,12 @@ use crate::StoreError;
 ///
 /// v2: `RunOutcome` gained the `stalled` flag and truncated runs report
 /// the horizon (not a placeholder) for unfinished foregrounds.
-pub const SCHEMA_VERSION: u32 = 2;
+///
+/// v3: `CoreCounters` gained `idle_cycles` (the zero-progress livelock
+/// guard attributes skipped quanta instead of dropping them) and the
+/// prefetch-usefulness accounting no longer lets a demand re-insert keep
+/// a stale prefetch bit.
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// A 64-bit content fingerprint identifying one simulation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]

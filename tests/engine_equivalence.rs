@@ -1,0 +1,118 @@
+//! Refactor-equivalence suite: the optimized engine fast paths must be
+//! **byte-identical** to the reference engine, proven through the store's
+//! canonical codec.
+//!
+//! `Machine::with_reference_engine(true)` re-enables the original
+//! pre-optimization code shapes (two-scan cache lookups, no MRU hint,
+//! SipHash in-flight map, per-pop watchdog summation, strict heap
+//! turn-taking, per-request epoch division). Every optimization the
+//! engine carries is only legitimate while `render(encode(outcome))` of
+//! both paths agree for every run — which is exactly what this file
+//! checks over a seeded sample of solo runs and co-running pairs drawn
+//! from the real workload registry.
+
+use std::sync::Arc;
+
+use cochar::prelude::*;
+use cochar_store::codec::encode_outcome;
+
+const FG_BASE: u64 = 1 << 40;
+const BG_BASE: u64 = 2 << 40;
+
+fn registry() -> Arc<Registry> {
+    Arc::new(Registry::new(Scale::tiny()))
+}
+
+fn app(spec: &WorkloadSpec, role: Role, base: u64, seed: u64, threads: usize) -> AppSpec {
+    AppSpec { name: spec.name.into(), factory: spec.factory.clone(), threads, role, base, seed }
+}
+
+/// Canonical byte rendering of one run on the given engine flavor.
+fn render(cfg: &MachineConfig, apps: &[AppSpec], reference: bool) -> String {
+    let machine = Machine::new(cfg.clone()).with_reference_engine(reference);
+    encode_outcome(&machine.run(apps)).render()
+}
+
+/// SplitMix64 — deterministic pair sampling without external crates.
+struct Rng(u64);
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+#[test]
+fn every_workload_solo_run_is_byte_identical_across_engines() {
+    let reg = registry();
+    let cfg = MachineConfig::tiny();
+    for spec in reg.all() {
+        let apps = vec![app(spec, Role::Foreground, FG_BASE, 1, 1)];
+        let fast = render(&cfg, &apps, false);
+        let slow = render(&cfg, &apps, true);
+        assert_eq!(fast, slow, "solo {} diverged between engines", spec.name);
+    }
+}
+
+#[test]
+fn seeded_pair_sample_is_byte_identical_across_engines() {
+    let reg = registry();
+    let cfg = MachineConfig::tiny();
+    let all = reg.all();
+    let mut rng = Rng(0x7a1e_5eed);
+    // 12 seeded fg/bg pairs across the registry, multiple trial seeds.
+    for round in 0..12 {
+        let fg = &all[(rng.next() as usize) % all.len()];
+        let bg = &all[(rng.next() as usize) % all.len()];
+        let seed = 1 + rng.next() % 1000;
+        let apps = vec![
+            app(fg, Role::Foreground, FG_BASE, seed, 1),
+            app(bg, Role::Background, BG_BASE, seed ^ 0x5EED, 1),
+        ];
+        let fast = render(&cfg, &apps, false);
+        let slow = render(&cfg, &apps, true);
+        assert_eq!(
+            fast, slow,
+            "pair {}/{} (round {round}, seed {seed}) diverged between engines",
+            fg.name, bg.name
+        );
+    }
+}
+
+#[test]
+fn multithreaded_pair_is_byte_identical_across_engines() {
+    // 2+2 threads on the 8-core paper machine exercises the heap with
+    // real cross-core interleavings (the stay-on-core fast path's
+    // trickiest regime) plus inclusive back-invalidation.
+    let reg = registry();
+    let mut cfg = MachineConfig::tiny();
+    cfg.cores = 4;
+    for (fg, bg) in [("stream", "mcf"), ("G-CC", "CIFAR")] {
+        let fg = reg.get(fg).unwrap();
+        let bg = reg.get(bg).unwrap();
+        let apps = vec![
+            app(fg, Role::Foreground, FG_BASE, 7, 2),
+            app(bg, Role::Background, BG_BASE, 7 ^ 0x5EED, 2),
+        ];
+        let fast = render(&cfg, &apps, false);
+        let slow = render(&cfg, &apps, true);
+        assert_eq!(fast, slow, "pair {}/{} diverged between engines", fg.name, bg.name);
+    }
+}
+
+#[test]
+fn prefetcher_off_runs_are_byte_identical_across_engines() {
+    // MSR all-off drives different cache/inflight traffic mixes.
+    let reg = registry();
+    let cfg = MachineConfig::tiny();
+    let spec = reg.get("fotonik3d").unwrap();
+    let apps = vec![app(spec, Role::Foreground, FG_BASE, 3, 1)];
+    let run = |reference: bool| {
+        let m = Machine::new(cfg.clone()).with_msr(Msr::all_off()).with_reference_engine(reference);
+        encode_outcome(&m.run(&apps)).render()
+    };
+    assert_eq!(run(false), run(true), "prefetcher-off run diverged between engines");
+}
