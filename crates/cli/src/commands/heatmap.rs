@@ -62,14 +62,17 @@ pub fn run(study: &Study, opts: &Opts) -> Result<usize, String> {
 
 /// Failures land next to the journal when a store is configured (they
 /// describe what that store is missing), else in the working directory.
-fn failure_report_path(study: &Study) -> PathBuf {
+pub(crate) fn failure_report_path(study: &Study) -> PathBuf {
     match study.store() {
         Some(store) => store.dir().join("failures.jsonl"),
         None => PathBuf::from("failures.jsonl"),
     }
 }
 
-fn write_failure_report(path: &PathBuf, failures: &[CellFailure]) -> Result<(), String> {
+pub(crate) fn write_failure_report(
+    path: &PathBuf,
+    failures: &[CellFailure],
+) -> Result<(), String> {
     let mut text = String::new();
     for f in failures {
         let record = Json::Obj(vec![

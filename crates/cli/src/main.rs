@@ -52,6 +52,13 @@ commands:
   solo <app>                   no-interference profile (CPI, MPKI, GB/s, ...)
   pair <fg> <bg>               co-run fg against looping bg; slowdown + metrics
   heatmap <apps...>            pairwise matrix + classification [--csv FILE]
+  sweep <apps...>              heatmap sharded over N worker processes
+                               [--workers N (default: host CPUs)]
+                               [--lease-cells K] [--lease-timeout-ms T]
+                               (CSV is byte-identical to `heatmap`)
+  fabric serve <apps...>       coordinator only [--bind HOST:PORT] [--workers N]
+  fabric work --connect ADDR   worker only [--worker-store DIR] [--label L]
+                               [--pin-cpu N]
   scalability <app>            1..N thread sweep [--max-threads N]
   prefetch <app>               prefetcher sensitivity [--breakdown]
   bubble <app>                 Bubble-Up pressure sensitivity curve
@@ -121,6 +128,11 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         // rep (study-level caches would otherwise hide engine cost).
         return commands::bench::run(&opts);
     }
+    if opts.command == "sweep" || opts.command == "fabric" {
+        // The fabric owns its exit-code mapping (worker processes, lease
+        // ledger, merge accounting) — it bypasses the single-study path.
+        return commands::fabric::run(&opts);
+    }
     let study = build_study(&opts, 1.0)?;
     if opts.switch("resume") {
         let store = study.store().expect("build_study enforces --store with --resume");
@@ -179,7 +191,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
 /// Builds the study from the global flags. `default_work` is the work
 /// scale used when `--work` is absent (1.0 for measurement commands,
 /// smoke scale for `bench`).
-fn build_study(opts: &Opts, default_work: f64) -> Result<Study, String> {
+pub(crate) fn build_study(opts: &Opts, default_work: f64) -> Result<Study, String> {
     let cfg = match opts.flag("machine").unwrap_or("bench") {
         "bench" => MachineConfig::bench(),
         "scaled" => MachineConfig::scaled(),

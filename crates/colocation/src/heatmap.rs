@@ -48,6 +48,29 @@ impl Heatmap {
         Heatmap { names, norm, status }
     }
 
+    /// The row-major ordered-pair cell list for an `n`-application sweep —
+    /// the canonical cell order shared by the local supervisor and the
+    /// distributed fabric, so their result indexing agrees.
+    pub fn pair_cells(n: usize) -> Vec<(usize, usize)> {
+        (0..n).flat_map(|i| (0..n).map(move |j| (i, j))).collect()
+    }
+
+    /// Assembles a heatmap from individually settled cells (the fabric's
+    /// merge path). Cells never supplied stay NaN/`Failed`.
+    pub fn from_cells(
+        names: Vec<String>,
+        cells: impl IntoIterator<Item = (usize, usize, f64, CellStatus)>,
+    ) -> Heatmap {
+        let n = names.len();
+        let mut norm = vec![vec![f64::NAN; n]; n];
+        let mut status = vec![vec![CellStatus::Failed; n]; n];
+        for (i, j, v, st) in cells {
+            norm[i][j] = v;
+            status[i][j] = st;
+        }
+        Heatmap { names, norm, status }
+    }
+
     /// Runs the full ordered-pair sweep over `names` (625 runs for the
     /// paper's 25 applications), parallelized across host cores.
     pub fn compute(study: &Study, names: &[&str]) -> Heatmap {
@@ -97,9 +120,7 @@ impl Heatmap {
         for n in names {
             let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| study.solo(n)));
         }
-        let pairs: Vec<(usize, usize)> = (0..names.len())
-            .flat_map(|i| (0..names.len()).map(move |j| (i, j)))
-            .collect();
+        let pairs = Self::pair_cells(names.len());
         let report = supervised_map(
             &pairs,
             policy,
@@ -254,6 +275,22 @@ mod tests {
         assert!((h.cell(0, 1) - 1.6).abs() < 1e-12);
         assert_eq!(h.len(), 3);
         assert!(!h.is_empty());
+    }
+
+    #[test]
+    fn from_cells_assembles_and_missing_cells_stay_failed() {
+        assert_eq!(Heatmap::pair_cells(2), vec![(0, 0), (0, 1), (1, 0), (1, 1)]);
+        let h = Heatmap::from_cells(
+            vec!["a".into(), "b".into()],
+            vec![
+                (0, 0, 1.0, CellStatus::Ok),
+                (0, 1, 1.5, CellStatus::Truncated),
+                (1, 0, 1.2, CellStatus::Ok),
+            ],
+        );
+        assert_eq!(h.cell_status(0, 1), CellStatus::Truncated);
+        assert!(h.cell(1, 1).is_nan());
+        assert_eq!(h.cell_status(1, 1), CellStatus::Failed);
     }
 
     #[test]

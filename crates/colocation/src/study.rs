@@ -302,6 +302,48 @@ impl Study {
         Some(RunKey(h.finish()))
     }
 
+    /// The store fingerprints of every trial a [`Study::solo`] for `name`
+    /// would run, or empty when the runs cannot be keyed (unknown name —
+    /// the caller decides how loud to be about that).
+    ///
+    /// This is the fabric's pre-seeding hook: the coordinator looks these
+    /// keys up after computing the solos and ships the matching journal
+    /// records to workers, which then answer every solo from cache.
+    pub fn solo_keys(&self, name: &str) -> Vec<RunKey> {
+        let Some(spec) = self.registry.get(name) else { return Vec::new() };
+        (0..self.trials)
+            .map(|t| {
+                let seed = self.base_seed + 1000 * u64::from(t);
+                self.run_key(&[self.app_spec(spec, Role::Foreground, FG_BASE, seed, self.threads)])
+            })
+            .collect::<Option<Vec<_>>>()
+            .unwrap_or_default()
+    }
+
+    /// The store fingerprints of every trial a
+    /// [`Study::pair_attempt`]`(fg, bg, attempt)` would run, or empty when
+    /// the runs cannot be keyed. When every returned key is resident in
+    /// the store, the pair resolves entirely from cache — which is how
+    /// the fabric coordinator answers already-journaled cells without
+    /// leasing them out.
+    pub fn pair_keys(&self, fg: &str, bg: &str, attempt: u32) -> Vec<RunKey> {
+        let (Some(fg_spec), Some(bg_spec)) = (self.registry.get(fg), self.registry.get(bg))
+        else {
+            return Vec::new();
+        };
+        let bump = u64::from(attempt).wrapping_mul(0x9E37_79B9);
+        (0..self.trials)
+            .map(|t| {
+                let seed = (self.base_seed + 1000 * u64::from(t)).wrapping_add(bump);
+                self.run_key(&[
+                    self.app_spec(fg_spec, Role::Foreground, FG_BASE, seed, self.threads),
+                    self.app_spec(bg_spec, Role::Background, BG_BASE, seed ^ 0x5EED, self.threads),
+                ])
+            })
+            .collect::<Option<Vec<_>>>()
+            .unwrap_or_default()
+    }
+
     /// Executes one run, consulting and feeding the persistent store.
     ///
     /// Each trial is keyed and journaled individually, so a killed sweep
@@ -550,5 +592,38 @@ mod tests {
         let s = study().with_trials(3);
         let r = s.solo("freqmine");
         assert!(r.elapsed_cycles > 0);
+    }
+
+    #[test]
+    fn published_keys_match_what_actually_journals() {
+        let dir = std::env::temp_dir()
+            .join(format!("cochar-study-keys-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let s = study().with_trials(2).with_store(RunStore::open(&dir).unwrap());
+
+        // Every key solo_keys/pair_keys predicts must be exactly what the
+        // corresponding run journals — that contract is what lets the
+        // fabric pre-seed workers and resolve cached cells by key.
+        let _ = s.solo("blackscholes");
+        let solo_keys = s.solo_keys("blackscholes");
+        assert_eq!(solo_keys.len(), 2, "one key per trial");
+        let store = s.store().unwrap();
+        assert!(solo_keys.iter().all(|&k| store.contains(k)));
+
+        let before = store.len();
+        let _ = s.pair_attempt("blackscholes", "swaptions", 1);
+        let pair_keys = s.pair_keys("blackscholes", "swaptions", 1);
+        assert_eq!(pair_keys.len(), 2);
+        assert!(pair_keys.iter().all(|&k| store.contains(k)));
+        // And nothing beyond the predicted keys (plus swaptions' absent
+        // solo — pair_attempt only adds pair runs, fg solo was resident).
+        assert_eq!(store.len(), before + pair_keys.len());
+
+        // Distinct attempts key distinct runs; unknown names key nothing.
+        assert_ne!(pair_keys, s.pair_keys("blackscholes", "swaptions", 0));
+        assert!(s.solo_keys("no-such-app").is_empty());
+        assert!(s.pair_keys("no-such-app", "swaptions", 0).is_empty());
+        drop(s);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -37,6 +37,7 @@ fn killed_sweep_resumes_running_only_missing_cells() {
     let first = store_study(&dir);
     let heat1 = Heatmap::compute(&first, &APPS);
     assert_eq!(first.run_counts(), (6, 0), "fresh sweep simulates everything");
+    drop(first); // release the journal lock before the resumed study opens
 
     // Simulate a kill: drop the last journal record entirely and tear the
     // one before it mid-line (a crash mid-append).
@@ -108,6 +109,7 @@ fn cache_hit_is_bit_identical_to_fresh_simulation() {
     // Populate the store, then read the same cell back cold.
     let writer = store_study(&dir);
     let written = writer.pair("stream", "blackscholes");
+    drop(writer);
     let reader = store_study(&dir);
     let replayed = reader.pair("stream", "blackscholes");
     let (simulated, cached) = reader.run_counts();
@@ -133,6 +135,7 @@ fn non_registry_specs_bypass_the_cache() {
     let a = store_study(&dir);
     let spec = cochar_colocation::throttle::throttled_spec(a.spec("stream"), 50, None);
     let slow_a = a.pair_against("blackscholes", &spec).fg_slowdown;
+    drop(a);
 
     let b = store_study(&dir);
     let slow_b = b.pair_against("blackscholes", &spec).fg_slowdown;
@@ -153,6 +156,7 @@ fn derived_msr_studies_share_the_store() {
     let _ = cochar_colocation::prefetcher::sensitivity(&base, "stream");
     let (sim1, _) = base.run_counts();
     assert!(sim1 >= 2, "two MSR endpoints simulated, got {sim1}");
+    drop(base);
 
     // A second invocation over the same directory replays both endpoint
     // solos, even though they ran under derived studies.

@@ -107,6 +107,7 @@ fn persistent_append_failure_degrades_to_cacheless() {
     assert!(failures.is_empty(), "{failures:?}");
     assert_eq!(map.status_counts(), (0, 0, 0));
     assert!(s.store_degraded());
+    drop(s);
     // Nothing (beyond the poisoned first append) made it to disk.
     let reopened = RunStore::open(&dir).unwrap();
     assert_eq!(reopened.len(), 0);
@@ -122,6 +123,7 @@ fn transient_append_failure_is_absorbed_by_backoff() {
     let solo = s.solo("blackscholes");
     assert!(solo.elapsed_cycles > 0);
     assert!(!s.store_degraded(), "one EINTR must not degrade the store");
+    drop(s);
     // The retried append landed: a reopen finds the journaled run.
     let reopened = RunStore::open(&dir).unwrap();
     assert_eq!(reopened.len(), 1);

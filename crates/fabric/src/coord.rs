@@ -1,0 +1,810 @@
+//! The campaign coordinator.
+//!
+//! One coordinator owns one campaign: the row-major list of heatmap pair
+//! cells over the campaign's names. Cells are handed to workers in
+//! *leases* (small batches with a deadline), results stream back one cell
+//! at a time, and the coordinator is the only writer of campaign state —
+//! workers are stateless cell evaluators.
+//!
+//! Failure handling is split in two, mirroring the single-process
+//! supervisor:
+//!
+//! * A cell that *panics* inside a worker comes back as a `result` with a
+//!   panic cause. The coordinator applies the [`SweepPolicy`] retry
+//!   budget (attempt + 1, deterministic reseed) or records a final
+//!   [`CellFailure`] — workers never retry on their own, so no cell ever
+//!   simulates more than `max_retries + 1` attempts campaign-wide.
+//! * A *worker* that dies (socket EOF) or goes silent (lease deadline
+//!   passes without a heartbeat) has its outstanding cells re-queued with
+//!   an incremented issue count; a cell whose lease is lost
+//!   [`FabricConfig::max_issues`] times fails with a delivery error
+//!   instead of cycling forever.
+//!
+//! Results are merged into the canonical store twice over: journal lines
+//! riding on each `result` frame are verified and merged as they arrive,
+//! and local workers' journal files are merged again at teardown (caching
+//! whatever a killed worker computed but never reported). Both merges are
+//! pure dedup by run fingerprint.
+
+use std::collections::{HashMap, VecDeque};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use cochar_colocation::{CellFailure, CellStatus, Heatmap, Study, SweepPolicy};
+use cochar_store::journal::{parse_record, render_record};
+use cochar_store::RunStore;
+
+use crate::wire::{write_frame, CellOutcome, Frame, FrameReader, Msg, WireCell};
+use crate::CampaignSpec;
+
+/// How a local worker process is launched: the executable plus the
+/// arguments that put it in worker mode (the CLI passes its own binary
+/// and `["fabric", "work"]`). The coordinator appends `--connect ADDR`,
+/// `--worker-store DIR`, `--label wN`, and `--pin-cpu N`.
+#[derive(Clone, Debug)]
+pub struct WorkerCmd {
+    /// Executable to spawn.
+    pub exe: PathBuf,
+    /// Leading arguments selecting worker mode.
+    pub args: Vec<String>,
+}
+
+/// Coordinator knobs.
+#[derive(Clone)]
+pub struct FabricConfig {
+    /// Local worker processes to spawn (0 = remote workers only).
+    pub workers: usize,
+    /// Listen address (`127.0.0.1:0` for an ephemeral local port).
+    pub bind: String,
+    /// Cells per lease.
+    pub lease_cells: usize,
+    /// Lease lifetime; heartbeats extend it.
+    pub lease_timeout: Duration,
+    /// Retry policy for panicking cells (same semantics as the
+    /// single-process supervisor).
+    pub policy: SweepPolicy,
+    /// Give up on a cell after losing this many leases for it.
+    pub max_issues: u32,
+    /// How to launch local workers (required when `workers > 0`).
+    pub worker_cmd: Option<WorkerCmd>,
+    /// Resolve cells whose runs are already in the store locally (cache
+    /// replay, no lease). Disabled by the CLI when a chaos cell is armed
+    /// so fault-injection tests always exercise the wire path.
+    pub resolve_cached: bool,
+    /// Abort the campaign when no worker claims, results, or heartbeats
+    /// for this long (dead fabric watchdog).
+    pub stall_timeout: Duration,
+    /// Receives the actual listen address once bound — how remote-worker
+    /// tests (and a `--bind 127.0.0.1:0` serve) learn the ephemeral port.
+    pub on_bound: Option<std::sync::mpsc::Sender<String>>,
+}
+
+impl Default for FabricConfig {
+    fn default() -> Self {
+        FabricConfig {
+            workers: 0,
+            bind: "127.0.0.1:0".into(),
+            lease_cells: 1,
+            lease_timeout: Duration::from_secs(30),
+            policy: SweepPolicy::default(),
+            max_issues: 5,
+            worker_cmd: None,
+            resolve_cached: true,
+            stall_timeout: Duration::from_secs(300),
+            on_bound: None,
+        }
+    }
+}
+
+/// Campaign accounting, printed as the fabric ledger.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FabricLedger {
+    /// Distinct worker connections that claimed work.
+    pub workers: u64,
+    /// Connections lost while holding a lease.
+    pub worker_deaths: u64,
+    /// Replacement local workers spawned after a death.
+    pub respawns: u64,
+    /// Leases handed out.
+    pub leases_issued: u64,
+    /// Leases lost (death or deadline) whose cells were re-queued.
+    pub leases_reissued: u64,
+    /// Panicking cells re-queued with a new attempt number.
+    pub cell_retries: u64,
+    /// Cells answered from the coordinator's store without a lease.
+    pub cells_cached: u64,
+    /// Journal records merged into the canonical store (wire + files).
+    pub records_merged: u64,
+    /// Records that were already resident (dedup hits).
+    pub records_duplicate: u64,
+}
+
+/// What a finished campaign hands back.
+pub struct FabricOutcome {
+    /// The assembled heatmap (failed cells are NaN holes).
+    pub heatmap: Heatmap,
+    /// Final per-cell failures, in row-major cell order.
+    pub failures: Vec<CellFailure>,
+    /// The campaign ledger.
+    pub ledger: FabricLedger,
+    /// Wall-clock of the lease-dispatch phase (pair cells only).
+    pub pair_wall: Duration,
+    /// Wall-clock of the sequential solo pre-seeding phase.
+    pub solo_wall: Duration,
+    /// The store could not persist everything (mirrors CLI exit code 3).
+    pub store_degraded: bool,
+}
+
+/// One queued unit of work.
+#[derive(Clone, Copy, Debug)]
+struct QueuedCell {
+    idx: usize,
+    attempt: u32,
+    issue: u32,
+}
+
+struct LeaseRec {
+    conn: u64,
+    deadline: Instant,
+    cells: Vec<QueuedCell>,
+}
+
+struct CoordState {
+    queue: VecDeque<QueuedCell>,
+    leases: HashMap<u64, LeaseRec>,
+    norm: Vec<f64>,
+    status: Vec<CellStatus>,
+    cell_done: Vec<bool>,
+    failures: Vec<Option<CellFailure>>,
+    settled: usize,
+    total: usize,
+    done: bool,
+    stop_issuing: bool,
+    next_lease: u64,
+    ledger: FabricLedger,
+    last_activity: Instant,
+}
+
+struct Coord {
+    state: Mutex<CoordState>,
+    cv: Condvar,
+    store: RunStore,
+    spec: CampaignSpec,
+    fp: u64,
+    cfg: FabricConfig,
+    next_conn: AtomicU64,
+    merge_failed: Mutex<Option<String>>,
+}
+
+impl Coord {
+    fn lock(&self) -> std::sync::MutexGuard<'_, CoordState> {
+        self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn cell_spec(&self, idx: usize) -> String {
+        let n = self.spec.names.len();
+        format!("{}/{}", self.spec.names[idx / n], self.spec.names[idx % n])
+    }
+
+    /// Records a final failure for a not-yet-settled cell.
+    fn fail_cell(&self, st: &mut CoordState, idx: usize, cause: String, attempts: u32) {
+        if st.cell_done[idx] {
+            return;
+        }
+        st.cell_done[idx] = true;
+        st.norm[idx] = f64::NAN;
+        st.status[idx] = CellStatus::Failed;
+        st.failures[idx] =
+            Some(CellFailure { index: idx, spec: self.cell_spec(idx), cause, attempts });
+        st.settled += 1;
+    }
+
+    /// Fail-fast: every still-queued cell becomes a skip, matching the
+    /// single-process supervisor's accounting.
+    fn drain_queue_as_skipped(&self, st: &mut CoordState) {
+        st.stop_issuing = true;
+        while let Some(c) = st.queue.pop_front() {
+            self.fail_cell(st, c.idx, "skipped (fail-fast)".to_string(), 0);
+        }
+    }
+
+    /// Puts a lease's lost cells back on the queue (worker death or
+    /// deadline expiry), honoring the issue budget.
+    fn requeue_lease(&self, st: &mut CoordState, lease: LeaseRec) {
+        st.ledger.leases_reissued += 1;
+        for c in lease.cells {
+            if st.cell_done[c.idx] {
+                continue;
+            }
+            let issue = c.issue + 1;
+            if issue > self.cfg.max_issues {
+                self.fail_cell(
+                    st,
+                    c.idx,
+                    format!("lease lost {issue} times without a result (workers dying?)"),
+                    c.attempt,
+                );
+            } else if st.stop_issuing {
+                self.fail_cell(st, c.idx, "skipped (fail-fast)".to_string(), 0);
+            } else {
+                st.queue.push_back(QueuedCell { idx: c.idx, attempt: c.attempt, issue });
+            }
+        }
+        self.after_settle(st);
+    }
+
+    fn after_settle(&self, st: &mut CoordState) {
+        if st.settled == st.total {
+            st.done = true;
+            self.cv.notify_all();
+        }
+    }
+
+    /// Carves the next lease off the queue for `conn`, if any work is
+    /// available.
+    fn carve(&self, st: &mut CoordState, conn: u64) -> Option<(u64, Vec<WireCell>)> {
+        if st.done || st.stop_issuing || st.queue.is_empty() {
+            return None;
+        }
+        let n = self.spec.names.len();
+        let take = self.cfg.lease_cells.max(1).min(st.queue.len());
+        let cells: Vec<QueuedCell> = (0..take).filter_map(|_| st.queue.pop_front()).collect();
+        let wire: Vec<WireCell> = cells
+            .iter()
+            .map(|c| WireCell {
+                fg: c.idx / n,
+                bg: c.idx % n,
+                attempt: c.attempt,
+                issue: c.issue,
+            })
+            .collect();
+        let id = st.next_lease;
+        st.next_lease += 1;
+        st.leases.insert(
+            id,
+            LeaseRec { conn, deadline: Instant::now() + self.cfg.lease_timeout, cells },
+        );
+        st.ledger.leases_issued += 1;
+        Some((id, wire))
+    }
+
+    /// Merges journal lines that rode in on a result frame.
+    fn merge_wire_records(&self, records: &[String]) {
+        let mut parsed = Vec::with_capacity(records.len());
+        for line in records {
+            match parse_record(line) {
+                Ok((key, outcome)) => parsed.push((key, Arc::new(outcome))),
+                Err(e) => eprintln!("fabric: dropping unverifiable worker record: {e}"),
+            }
+        }
+        match self.store.merge_records(parsed) {
+            Ok(report) => {
+                let mut st = self.lock();
+                st.ledger.records_merged += report.added;
+                st.ledger.records_duplicate += report.duplicates;
+            }
+            Err(e) => {
+                let mut failed = self.merge_failed.lock().unwrap_or_else(|p| p.into_inner());
+                if failed.is_none() {
+                    eprintln!(
+                        "warning: fabric could not persist worker records ({e}); \
+                         results are unaffected, but this campaign will not be resumable"
+                    );
+                    *failed = Some(e.to_string());
+                }
+            }
+        }
+    }
+
+    /// Applies one worker result; `on_cell` ticks settled progress.
+    fn settle_result(
+        &self,
+        lease_id: u64,
+        cell: WireCell,
+        outcome: CellOutcome,
+        on_cell: &(impl Fn(usize, usize) + Sync),
+    ) {
+        let n = self.spec.names.len();
+        let idx = cell.fg * n + cell.bg;
+        let mut st = self.lock();
+        st.last_activity = Instant::now();
+        if idx >= st.total {
+            return;
+        }
+        // Strike the cell off its lease (the lease may already be gone if
+        // it expired and was re-issued — the late result still counts if
+        // the cell is unsettled, the work is deterministic either way).
+        let mut lease_empty = false;
+        if let Some(lease) = st.leases.get_mut(&lease_id) {
+            lease.cells.retain(|c| c.idx != idx);
+            lease_empty = lease.cells.is_empty();
+        }
+        if lease_empty {
+            st.leases.remove(&lease_id);
+        }
+        if st.cell_done[idx] {
+            return;
+        }
+        match outcome {
+            CellOutcome::Value { value, status } => {
+                st.norm[idx] = value;
+                st.status[idx] = status;
+                st.cell_done[idx] = true;
+                st.settled += 1;
+            }
+            CellOutcome::Panic { cause } => {
+                if cell.attempt < self.cfg.policy.max_retries && !st.stop_issuing {
+                    st.ledger.cell_retries += 1;
+                    st.queue.push_back(QueuedCell {
+                        idx,
+                        attempt: cell.attempt + 1,
+                        issue: cell.issue,
+                    });
+                } else {
+                    self.fail_cell(&mut st, idx, cause, cell.attempt + 1);
+                    if !self.cfg.policy.keep_going {
+                        self.drain_queue_as_skipped(&mut st);
+                    }
+                }
+            }
+        }
+        let (settled, total) = (st.settled, st.total);
+        self.after_settle(&mut st);
+        drop(st);
+        on_cell(settled, total);
+    }
+
+    /// One worker connection, handled on its own thread.
+    fn handle_conn(
+        &self,
+        stream: TcpStream,
+        solo_lines: &[String],
+        on_cell: &(impl Fn(usize, usize) + Sync),
+    ) {
+        let conn = self.next_conn.fetch_add(1, Ordering::Relaxed);
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(1000)));
+        let mut writer = match stream.try_clone() {
+            Ok(w) => w,
+            Err(_) => return,
+        };
+        let hello = Msg::Hello {
+            fp: self.fp,
+            lease_ms: self.cfg.lease_timeout.as_millis() as u64,
+            campaign: self.spec.clone(),
+            solo: solo_lines.to_vec(),
+        };
+        if write_frame(&mut writer, &hello).is_err() {
+            return;
+        }
+        let mut reader = FrameReader::new(stream);
+        let mut claimed = false;
+        // A read error is a protocol violation: treat it as worker death.
+        while let Ok(frame) = reader.next_frame() {
+            match frame {
+                Frame::Idle => {
+                    if self.lock().done {
+                        break;
+                    }
+                }
+                Frame::Eof => break,
+                Frame::Msg(Msg::Claim { fp, worker }) => {
+                    if fp != self.fp {
+                        eprintln!(
+                            "fabric: worker {worker:?} echoed fingerprint {fp:016x}, \
+                             campaign is {:016x}; dismissing it",
+                            self.fp
+                        );
+                        let _ = write_frame(&mut writer, &Msg::Done);
+                        break;
+                    }
+                    let reply = {
+                        let mut st = self.lock();
+                        st.last_activity = Instant::now();
+                        if !claimed {
+                            claimed = true;
+                            st.ledger.workers += 1;
+                        }
+                        if st.done {
+                            Msg::Done
+                        } else {
+                            match self.carve(&mut st, conn) {
+                                Some((id, cells)) => Msg::Lease {
+                                    id,
+                                    deadline_ms: self.cfg.lease_timeout.as_millis() as u64,
+                                    cells,
+                                },
+                                None => Msg::Wait { ms: 100 },
+                            }
+                        }
+                    };
+                    let finished = matches!(reply, Msg::Done);
+                    if write_frame(&mut writer, &reply).is_err() || finished {
+                        break;
+                    }
+                }
+                Frame::Msg(Msg::Result { lease, cell, outcome, records }) => {
+                    self.merge_wire_records(&records);
+                    self.settle_result(lease, cell, outcome, on_cell);
+                    if write_frame(&mut writer, &Msg::Ack).is_err() {
+                        break;
+                    }
+                }
+                Frame::Msg(Msg::Heartbeat { lease }) => {
+                    let mut st = self.lock();
+                    st.last_activity = Instant::now();
+                    let deadline = Instant::now() + self.cfg.lease_timeout;
+                    if let Some(l) = st.leases.get_mut(&lease) {
+                        l.deadline = deadline;
+                    }
+                }
+                Frame::Msg(other) => {
+                    eprintln!("fabric: unexpected message from worker: {other:?}");
+                    break;
+                }
+            }
+        }
+        // Connection is gone (or being dismissed): anything it still
+        // holds goes back on the queue.
+        let mut st = self.lock();
+        let lost: Vec<u64> =
+            st.leases.iter().filter(|(_, l)| l.conn == conn).map(|(id, _)| *id).collect();
+        if !lost.is_empty() && !st.done {
+            st.ledger.worker_deaths += 1;
+            for id in lost {
+                if let Some(lease) = st.leases.remove(&id) {
+                    self.requeue_lease(&mut st, lease);
+                }
+            }
+        }
+    }
+
+    /// Expires overdue leases; runs every 100 ms on its own thread.
+    fn expire_overdue(&self) {
+        let mut st = self.lock();
+        let now = Instant::now();
+        let overdue: Vec<u64> = st
+            .leases
+            .iter()
+            .filter(|(_, l)| l.deadline < now)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in overdue {
+            if let Some(lease) = st.leases.remove(&id) {
+                self.requeue_lease(&mut st, lease);
+            }
+        }
+    }
+}
+
+/// Counter for unique scratch directories within one process.
+static SCRATCH: AtomicU64 = AtomicU64::new(0);
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "cochar-fabric-{tag}-{}-{}",
+        std::process::id(),
+        SCRATCH.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// Runs one sharded campaign to completion.
+///
+/// `study` supplies the store (a scratch store is created when it has
+/// none), the solo pre-seed runs, and cached-cell resolution; it must
+/// describe the same measurement protocol as `spec` — the CLI builds both
+/// from the same flags. `on_cell(settled, total)` ticks as pair cells
+/// settle.
+pub fn run_campaign(
+    study: &Study,
+    spec: &CampaignSpec,
+    cfg: &FabricConfig,
+    on_cell: impl Fn(usize, usize) + Sync,
+) -> Result<FabricOutcome, String> {
+    if spec.names.len() < 2 {
+        return Err("a campaign needs at least two applications".into());
+    }
+    for n in &spec.names {
+        if study.registry().get(n.as_str()).is_none() {
+            return Err(format!("unknown application {n:?}; try `cochar list`"));
+        }
+    }
+    if cfg.workers > 0 && cfg.worker_cmd.is_none() {
+        return Err("local workers requested but no worker command configured".into());
+    }
+
+    // The canonical store: the study's own, or a scratch store that only
+    // lives for this campaign (workers still need somewhere to merge).
+    let (store, scratch_store) = match study.store() {
+        Some(s) => (s.clone(), None),
+        None => {
+            let dir = scratch_dir("store");
+            let s = RunStore::open(&dir).map_err(|e| e.to_string())?;
+            (s, Some(dir))
+        }
+    };
+    // A store-less study cannot journal its solos; run the campaign
+    // through a store-backed twin so solo pre-seeding lands in `store`.
+    let seeded_study;
+    let study: &Study = if study.store().is_some() {
+        study
+    } else {
+        seeded_study = spec.build_study(Some(store.clone()))?;
+        &seeded_study
+    };
+
+    // --- Phase 1: solo pre-seeding (sequential, excluded from pair timing).
+    // Every pair cell divides by its foreground's solo time; computing the
+    // solos once here and shipping the records in `hello` means workers
+    // answer them from cache instead of each re-simulating all N.
+    let solo_start = Instant::now();
+    for name in &spec.names {
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            study.solo(name.as_str())
+        }));
+    }
+    let solo_wall = solo_start.elapsed();
+    let mut solo_lines = Vec::new();
+    for name in &spec.names {
+        for key in study.solo_keys(name.as_str()) {
+            if let Some(outcome) = store.get(key) {
+                solo_lines.push(render_record(key, &outcome));
+            }
+        }
+    }
+
+    // --- Phase 2: build the cell queue, resolving cached cells locally.
+    let names: Vec<&str> = spec.names.iter().map(|s| s.as_str()).collect();
+    let cells = Heatmap::pair_cells(names.len());
+    let total = cells.len();
+    let mut st = CoordState {
+        queue: VecDeque::with_capacity(total),
+        leases: HashMap::new(),
+        norm: vec![f64::NAN; total],
+        status: vec![CellStatus::Failed; total],
+        cell_done: vec![false; total],
+        failures: (0..total).map(|_| None).collect(),
+        settled: 0,
+        total,
+        done: false,
+        stop_issuing: false,
+        next_lease: 1,
+        ledger: FabricLedger::default(),
+        last_activity: Instant::now(),
+    };
+    let pair_start = Instant::now();
+    for (idx, &(i, j)) in cells.iter().enumerate() {
+        let mut resolved = false;
+        if cfg.resolve_cached {
+            let keys = study.pair_keys(names[i], names[j], 0);
+            if !keys.is_empty() && keys.iter().all(|&k| store.contains(k)) {
+                let got = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    study.pair_attempt(names[i], names[j], 0)
+                }));
+                if let Ok(pair) = got {
+                    st.norm[idx] = pair.fg_slowdown;
+                    st.status[idx] = if pair.stalled {
+                        CellStatus::Stalled
+                    } else if pair.truncated {
+                        CellStatus::Truncated
+                    } else {
+                        CellStatus::Ok
+                    };
+                    st.cell_done[idx] = true;
+                    st.settled += 1;
+                    st.ledger.cells_cached += 1;
+                    resolved = true;
+                }
+            }
+        }
+        if !resolved {
+            st.queue.push_back(QueuedCell { idx, attempt: 0, issue: 0 });
+        }
+    }
+    if st.settled > 0 {
+        on_cell(st.settled, total);
+    }
+    let all_cached = st.settled == total;
+    st.done = all_cached;
+
+    let coord = Arc::new(Coord {
+        state: Mutex::new(st),
+        cv: Condvar::new(),
+        store: store.clone(),
+        spec: spec.clone(),
+        fp: spec.fingerprint(),
+        cfg: cfg.clone(),
+        next_conn: AtomicU64::new(1),
+        merge_failed: Mutex::new(None),
+    });
+
+    let mut worker_dirs: Vec<PathBuf> = Vec::new();
+    if !all_cached {
+        serve(&coord, cfg, &solo_lines, &on_cell, &mut worker_dirs)?;
+    }
+    let pair_wall = pair_start.elapsed();
+
+    // --- Phase 4: merge local worker journals (catches anything a killed
+    // worker computed but never reported) and clean up scratch space.
+    {
+        let mut merged = (0u64, 0u64);
+        for dir in &worker_dirs {
+            let path = dir.join(cochar_store::journal::JOURNAL_FILE);
+            if !path.exists() {
+                continue;
+            }
+            match store.merge_journal(&path) {
+                Ok((report, _)) => {
+                    merged.0 += report.added;
+                    merged.1 += report.duplicates;
+                }
+                Err(e) => eprintln!("warning: merging {} failed: {e}", path.display()),
+            }
+        }
+        let mut st = coord.lock();
+        st.ledger.records_merged += merged.0;
+        st.ledger.records_duplicate += merged.1;
+    }
+    for dir in &worker_dirs {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    let st = coord.lock();
+    let failures: Vec<CellFailure> = st.failures.iter().flatten().cloned().collect();
+    let heatmap = Heatmap::from_cells(
+        spec.names.clone(),
+        cells.iter().enumerate().map(|(idx, &(i, j))| (i, j, st.norm[idx], st.status[idx])),
+    );
+    let ledger = st.ledger;
+    drop(st);
+    let merge_failed = coord.merge_failed.lock().unwrap_or_else(|p| p.into_inner()).is_some();
+    let store_degraded = study.store_degraded() || merge_failed;
+    if let Some(dir) = scratch_store {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    Ok(FabricOutcome { heatmap, failures, ledger, pair_wall, solo_wall, store_degraded })
+}
+
+/// Phase 3: run the listener + local workers until every cell settles.
+fn serve(
+    coord: &Arc<Coord>,
+    cfg: &FabricConfig,
+    solo_lines: &[String],
+    on_cell: &(impl Fn(usize, usize) + Sync),
+    worker_dirs: &mut Vec<PathBuf>,
+) -> Result<(), String> {
+    let listener =
+        TcpListener::bind(&cfg.bind).map_err(|e| format!("bind {}: {e}", cfg.bind))?;
+    let addr = listener.local_addr().map_err(|e| e.to_string())?.to_string();
+    if let Some(tx) = &cfg.on_bound {
+        let _ = tx.send(addr.clone());
+    }
+
+    std::thread::scope(|scope| -> Result<(), String> {
+        // Accept loop: one handler thread per connection, all inside this
+        // scope so they are joined before serve() returns.
+        scope.spawn(|| {
+            while let Ok((stream, _)) = listener.accept() {
+                if coord.lock().done {
+                    // Poke connection or a late worker: greet it
+                    // with done semantics via a normal handler —
+                    // it will claim once and be dismissed.
+                    drop(stream);
+                    break;
+                }
+                scope.spawn(|| coord.handle_conn(stream, solo_lines, on_cell));
+            }
+        });
+        // Lease-expiry sweeper.
+        scope.spawn(|| loop {
+            std::thread::sleep(Duration::from_millis(100));
+            if coord.lock().done {
+                break;
+            }
+            coord.expire_overdue();
+        });
+
+        // Local worker processes.
+        let mut children: Vec<std::process::Child> = Vec::new();
+        let mut next_worker = 0usize;
+        let mut spawn_worker = |children: &mut Vec<std::process::Child>,
+                                worker_dirs: &mut Vec<PathBuf>|
+         -> Result<(), String> {
+            let cmd = cfg.worker_cmd.as_ref().expect("checked in run_campaign");
+            let dir = scratch_dir(&format!("worker{next_worker}"));
+            let label = format!("w{next_worker}");
+            let child = std::process::Command::new(&cmd.exe)
+                .args(&cmd.args)
+                .arg("--connect")
+                .arg(&addr)
+                .arg("--worker-store")
+                .arg(&dir)
+                .arg("--label")
+                .arg(&label)
+                .arg("--pin-cpu")
+                .arg(next_worker.to_string())
+                .stdout(std::process::Stdio::null())
+                .stderr(std::process::Stdio::inherit())
+                .spawn()
+                .map_err(|e| format!("spawning worker {}: {e}", cmd.exe.display()))?;
+            next_worker += 1;
+            worker_dirs.push(dir);
+            children.push(child);
+            Ok(())
+        };
+        for _ in 0..cfg.workers {
+            spawn_worker(&mut children, worker_dirs)?;
+        }
+
+        // Wait for settlement, respawning dead local workers (budget: one
+        // replacement per original slot) and watching for a dead fabric.
+        let respawn_budget = cfg.workers;
+        let abort: Option<String> = loop {
+            let mut st = coord.lock();
+            if st.done {
+                break None;
+            }
+            if st.last_activity.elapsed() > cfg.stall_timeout {
+                let unsettled = st.total - st.settled;
+                st.done = true;
+                break Some(format!(
+                    "fabric stalled: {unsettled} cell(s) unsettled and no worker \
+                     activity for {:?} (no workers connected, or all of them hung)",
+                    cfg.stall_timeout
+                ));
+            }
+            drop(
+                coord
+                    .cv
+                    .wait_timeout(st, Duration::from_millis(250))
+                    .unwrap_or_else(std::sync::PoisonError::into_inner),
+            );
+            // Local pool upkeep, outside the state lock: exited children
+            // stay in `children`, so `len - workers` is the respawn count
+            // and any excess of deaths over respawns means a slot is
+            // empty. Top it up one child per tick while budget remains.
+            let dead = children
+                .iter_mut()
+                .filter_map(|c| c.try_wait().ok().flatten())
+                .count();
+            let respawned_so_far = children.len() - cfg.workers;
+            if dead > respawned_so_far
+                && respawned_so_far < respawn_budget
+                && !coord.lock().done
+            {
+                spawn_worker(&mut children, worker_dirs)?;
+                coord.lock().ledger.respawns += 1;
+            }
+        };
+
+        // Settled (or stalled): wake everything up and tear down.
+        coord.cv.notify_all();
+        // Poke the accept loop so it observes `done`.
+        let _ = TcpStream::connect(&addr);
+
+        // Give local workers a moment to claim, hear `done`, and exit;
+        // then kill whatever is left (hung chaos workers, stuck leases).
+        let grace = Instant::now();
+        loop {
+            let all_gone =
+                children.iter_mut().all(|c| matches!(c.try_wait(), Ok(Some(_))));
+            if all_gone || grace.elapsed() > Duration::from_secs(5) {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        for child in children.iter_mut() {
+            if !matches!(child.try_wait(), Ok(Some(_))) {
+                let _ = child.kill();
+            }
+            let _ = child.wait();
+        }
+        if let Some(msg) = abort {
+            return Err(msg);
+        }
+        Ok(())
+    })
+}

@@ -1,0 +1,395 @@
+//! The worker loop: a stateless cell evaluator.
+//!
+//! A worker connects, receives the campaign spec in `hello`, rebuilds the
+//! exact same [`cochar_colocation::Study`] the coordinator holds (same
+//! run keys — that is the merge invariant), pre-seeds its private store
+//! with the solo records that rode in, and then claims leases until the
+//! coordinator says `done`. Each leased cell is computed under panic
+//! isolation; the coordinator owns all retry policy, so the worker just
+//! reports what happened.
+//!
+//! While a lease is held, a heartbeat thread extends it every
+//! `lease_ms / 3`, so a slow cell does not get re-issued out from under a
+//! healthy worker — only a dead or hung one.
+//!
+//! Chaos hooks (armed by the CLI from `COCHAR_CHAOS_WORKER`, inert
+//! otherwise) let the test suite kill or hang a worker at a precise cell:
+//! `die` raises SIGKILL mid-lease — the crash the lease machinery exists
+//! for — and `hang` silences the heartbeat and sleeps forever, which is
+//! how lease *expiry* (as opposed to connection death) is exercised.
+
+use std::collections::HashSet;
+use std::net::TcpStream;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use cochar_colocation::sweep::affinity;
+use cochar_colocation::CellStatus;
+use cochar_store::journal::{parse_record, render_record};
+use cochar_store::{RunKey, RunStore};
+
+use crate::wire::{write_frame, CellOutcome, Frame, FrameReader, Msg, WireCell};
+
+/// Worker-side fault injection, armed per-cell (see module docs).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WorkerChaos {
+    /// SIGKILL this process when first issued the `(fg, bg)` cell.
+    Die {
+        /// Foreground name of the trigger cell.
+        fg: String,
+        /// Background name of the trigger cell.
+        bg: String,
+    },
+    /// Stop heartbeating and sleep forever when first issued the cell.
+    Hang {
+        /// Foreground name of the trigger cell.
+        fg: String,
+        /// Background name of the trigger cell.
+        bg: String,
+    },
+}
+
+impl WorkerChaos {
+    /// Parses the `COCHAR_CHAOS_WORKER` grammar: `die@fg/bg` | `hang@fg/bg`.
+    pub fn parse(spec: &str) -> Result<WorkerChaos, String> {
+        let (kind, pair) = spec
+            .split_once('@')
+            .ok_or_else(|| format!("expected die@fg/bg or hang@fg/bg, got {spec:?}"))?;
+        let (fg, bg) = pair
+            .split_once('/')
+            .ok_or_else(|| format!("expected fg/bg after @, got {pair:?}"))?;
+        let (fg, bg) = (fg.to_string(), bg.to_string());
+        match kind {
+            "die" => Ok(WorkerChaos::Die { fg, bg }),
+            "hang" => Ok(WorkerChaos::Hang { fg, bg }),
+            other => Err(format!("unknown worker chaos {other:?} (die|hang)")),
+        }
+    }
+}
+
+/// How a worker runs.
+#[derive(Clone, Debug)]
+pub struct WorkerConfig {
+    /// Coordinator address (`host:port`).
+    pub connect: String,
+    /// Private store directory; a scratch dir (removed on clean exit)
+    /// when absent. The coordinator passes a directory it will harvest.
+    pub store_dir: Option<PathBuf>,
+    /// Label echoed in `claim` (diagnostics only).
+    pub label: String,
+    /// Pin this process to a CPU (skipped under `COCHAR_NO_PIN`).
+    pub pin_cpu: Option<usize>,
+    /// Cell-level fault injection (the study's chaos cell), as
+    /// `(fg, bg, succeed_from)`.
+    pub chaos_cell: Option<(String, String, u32)>,
+    /// Worker-level fault injection.
+    pub chaos_worker: Option<WorkerChaos>,
+}
+
+impl WorkerConfig {
+    /// A plain worker aimed at `connect`.
+    pub fn new(connect: impl Into<String>) -> Self {
+        WorkerConfig {
+            connect: connect.into(),
+            store_dir: None,
+            label: "worker".into(),
+            pin_cpu: None,
+            chaos_cell: None,
+            chaos_worker: None,
+        }
+    }
+}
+
+/// What a worker did before the coordinator dismissed it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkerSummary {
+    /// Leases processed.
+    pub leases: u64,
+    /// Cells that computed to a value.
+    pub cells: u64,
+    /// Cells that panicked (reported, not retried here).
+    pub panics: u64,
+}
+
+/// How long the worker tolerates total coordinator silence before giving
+/// up (covers a coordinator that died without closing the socket).
+const SILENCE_LIMIT: Duration = Duration::from_secs(120);
+
+/// Waits for the next message, riding out read-timeout idles.
+///
+/// `Ok(None)` means the connection ended — either cleanly or mid-frame.
+/// By the time a campaign tears down, racing closes are normal (the
+/// worker may be mid-send when the coordinator wins the last cell from
+/// someone else), so connection loss is a quiet exit, not an error; the
+/// coordinator's lease machinery owns recovery.
+fn await_msg(reader: &mut FrameReader<TcpStream>) -> Result<Option<Msg>, String> {
+    let start = Instant::now();
+    loop {
+        match reader.next_frame() {
+            Ok(Frame::Msg(m)) => return Ok(Some(m)),
+            Ok(Frame::Eof) => return Ok(None),
+            Ok(Frame::Idle) => {
+                if start.elapsed() > SILENCE_LIMIT {
+                    return Err(format!(
+                        "coordinator silent for {SILENCE_LIMIT:?}; giving up"
+                    ));
+                }
+            }
+            Err(_) => return Ok(None),
+        }
+    }
+}
+
+fn send(writer: &Mutex<TcpStream>, msg: &Msg) -> bool {
+    let mut w = writer.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    write_frame(&mut *w, msg).is_ok()
+}
+
+fn panic_cause(e: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = e.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = e.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// Journal lines for every store record not yet shipped to the
+/// coordinator; marks them shipped.
+fn new_records(store: &RunStore, sent: &mut HashSet<RunKey>) -> Vec<String> {
+    let mut lines = Vec::new();
+    for (k, o) in store.entries() {
+        if sent.insert(k) {
+            lines.push(render_record(k, &o));
+        }
+    }
+    lines
+}
+
+#[cfg(unix)]
+fn kill_self_hard() {
+    extern "C" {
+        fn getpid() -> i32;
+        fn kill(pid: i32, sig: i32) -> i32;
+    }
+    unsafe {
+        kill(getpid(), 9); // SIGKILL: no destructors, no flushes
+    }
+}
+
+#[cfg(not(unix))]
+fn kill_self_hard() {}
+
+/// Connects to a coordinator and works until dismissed.
+pub fn run_worker(cfg: &WorkerConfig) -> Result<WorkerSummary, String> {
+    if let Some(cpu) = cfg.pin_cpu {
+        if std::env::var_os("COCHAR_NO_PIN").is_none() {
+            // Best effort: an over-subscribed host just leaves it to the OS.
+            let _ = affinity::pin_to(cpu);
+        }
+    }
+    let stream = TcpStream::connect(&cfg.connect)
+        .map_err(|e| format!("connect {}: {e}", cfg.connect))?;
+    let _ = stream.set_nodelay(true);
+    stream
+        .set_read_timeout(Some(Duration::from_millis(1000)))
+        .map_err(|e| e.to_string())?;
+    let writer = Arc::new(Mutex::new(stream.try_clone().map_err(|e| e.to_string())?));
+    let mut reader = FrameReader::new(stream);
+
+    // Greeting: the campaign by value, plus solo pre-seed records.
+    let (fp, lease_ms, campaign, solo) = match await_msg(&mut reader)? {
+        Some(Msg::Hello { fp, lease_ms, campaign, solo }) => (fp, lease_ms, campaign, solo),
+        Some(other) => return Err(format!("expected hello, got {other:?}")),
+        None => return Err("connection closed before hello".into()),
+    };
+    debug_assert_eq!(fp, campaign.fingerprint(), "coordinator fingerprint is self-consistent");
+
+    // Private store, pre-seeded with the solos so this worker never
+    // simulates a denominator.
+    let (store_dir, scratch) = match &cfg.store_dir {
+        Some(dir) => (dir.clone(), false),
+        None => (
+            std::env::temp_dir()
+                .join(format!("cochar-worker-{}-{}", cfg.label, std::process::id())),
+            true,
+        ),
+    };
+    let store = RunStore::open(&store_dir).map_err(|e| e.to_string())?;
+    let mut seeds = Vec::with_capacity(solo.len());
+    for line in &solo {
+        match parse_record(line) {
+            Ok((key, outcome)) => seeds.push((key, Arc::new(outcome))),
+            Err(e) => eprintln!("worker {}: dropping bad solo record: {e}", cfg.label),
+        }
+    }
+    store.merge_records(seeds).map_err(|e| e.to_string())?;
+    let mut sent: HashSet<RunKey> = store.entries().iter().map(|(k, _)| *k).collect();
+
+    let mut study = campaign.build_study(Some(store.clone()))?;
+    if let Some((fg, bg, succeed_from)) = &cfg.chaos_cell {
+        study = study.with_chaos_cell(fg, bg, *succeed_from);
+    }
+    let names = campaign.names.clone();
+
+    // Heartbeat thread: extends whichever lease is current. Writes share
+    // the frame writer's mutex, so heartbeats never interleave with a
+    // result frame.
+    let current_lease = Arc::new(AtomicU64::new(0));
+    let stop = Arc::new(AtomicBool::new(false));
+    let beat = {
+        let writer = Arc::clone(&writer);
+        let current_lease = Arc::clone(&current_lease);
+        let stop = Arc::clone(&stop);
+        let interval = Duration::from_millis((lease_ms / 3).max(100));
+        std::thread::spawn(move || {
+            let mut slept = Duration::ZERO;
+            loop {
+                std::thread::sleep(Duration::from_millis(50));
+                if stop.load(Ordering::Relaxed) {
+                    return;
+                }
+                slept += Duration::from_millis(50);
+                if slept < interval {
+                    continue;
+                }
+                slept = Duration::ZERO;
+                let lease = current_lease.load(Ordering::Relaxed);
+                if lease != 0 {
+                    let _ = send(&writer, &Msg::Heartbeat { lease });
+                }
+            }
+        })
+    };
+
+    let mut summary = WorkerSummary::default();
+    let outcome = 'claim: loop {
+        if !send(&writer, &Msg::Claim { fp, worker: cfg.label.clone() }) {
+            break Ok(());
+        }
+        match await_msg(&mut reader) {
+            Err(e) => break Err(e),
+            Ok(None) | Ok(Some(Msg::Done)) => break Ok(()),
+            Ok(Some(Msg::Wait { ms })) => {
+                std::thread::sleep(Duration::from_millis(ms.min(1000)));
+            }
+            Ok(Some(Msg::Lease { id, cells, .. })) => {
+                summary.leases += 1;
+                current_lease.store(id, Ordering::Relaxed);
+                for cell in cells {
+                    let (Some(fg), Some(bg)) = (names.get(cell.fg), names.get(cell.bg))
+                    else {
+                        break 'claim Err(format!(
+                            "lease cell ({}, {}) out of range for {} names",
+                            cell.fg,
+                            cell.bg,
+                            names.len()
+                        ));
+                    };
+                    apply_worker_chaos(cfg, &current_lease, fg, bg, cell);
+                    let computed = catch_unwind(AssertUnwindSafe(|| {
+                        study.pair_attempt(fg, bg, cell.attempt)
+                    }));
+                    let outcome = match computed {
+                        Ok(pair) => {
+                            summary.cells += 1;
+                            let status = if pair.stalled {
+                                CellStatus::Stalled
+                            } else if pair.truncated {
+                                CellStatus::Truncated
+                            } else {
+                                CellStatus::Ok
+                            };
+                            CellOutcome::Value { value: pair.fg_slowdown, status }
+                        }
+                        Err(e) => {
+                            summary.panics += 1;
+                            CellOutcome::Panic { cause: panic_cause(e.as_ref()) }
+                        }
+                    };
+                    let records = new_records(&store, &mut sent);
+                    if !send(&writer, &Msg::Result { lease: id, cell, outcome, records }) {
+                        break 'claim Ok(());
+                    }
+                    match await_msg(&mut reader) {
+                        Ok(Some(Msg::Ack)) => {}
+                        Ok(Some(Msg::Done)) | Ok(None) => break 'claim Ok(()),
+                        Ok(Some(other)) => {
+                            break 'claim Err(format!("expected ack, got {other:?}"))
+                        }
+                        Err(e) => break 'claim Err(e),
+                    }
+                }
+                current_lease.store(0, Ordering::Relaxed);
+            }
+            Ok(Some(other)) => break Err(format!("unexpected message {other:?}")),
+        }
+    };
+    stop.store(true, Ordering::Relaxed);
+    let _ = beat.join();
+    if scratch {
+        drop(store);
+        let _ = std::fs::remove_dir_all(&store_dir);
+    }
+    outcome.map(|()| summary)
+}
+
+/// Fires the armed worker chaos if this is its trigger cell, first issue.
+///
+/// Only `issue == 0` triggers: the re-issued lease for the same cell must
+/// compute normally, which is exactly the recovery the tests assert.
+fn apply_worker_chaos(
+    cfg: &WorkerConfig,
+    current_lease: &AtomicU64,
+    fg: &str,
+    bg: &str,
+    cell: WireCell,
+) {
+    if cell.issue != 0 {
+        return;
+    }
+    match &cfg.chaos_worker {
+        Some(WorkerChaos::Die { fg: cfg_fg, bg: cfg_bg }) if cfg_fg == fg && cfg_bg == bg => {
+            eprintln!("chaos: worker {} dying on cell {fg}/{bg}", cfg.label);
+            kill_self_hard();
+            // Unreachable on unix; elsewhere fall through to an abort so
+            // the test still observes a dead worker.
+            std::process::abort();
+        }
+        Some(WorkerChaos::Hang { fg: cfg_fg, bg: cfg_bg }) if cfg_fg == fg && cfg_bg == bg => {
+            eprintln!("chaos: worker {} hanging on cell {fg}/{bg}", cfg.label);
+            // Silence the heartbeat so the lease genuinely expires, then
+            // sleep out the campaign (the coordinator reaps us at exit —
+            // or, for an in-process test worker, the thread just leaks).
+            current_lease.store(0, Ordering::Relaxed);
+            loop {
+                std::thread::sleep(Duration::from_secs(3600));
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chaos_grammar_parses() {
+        assert_eq!(
+            WorkerChaos::parse("die@G-CC/mcf").unwrap(),
+            WorkerChaos::Die { fg: "G-CC".into(), bg: "mcf".into() }
+        );
+        assert_eq!(
+            WorkerChaos::parse("hang@a/b").unwrap(),
+            WorkerChaos::Hang { fg: "a".into(), bg: "b".into() }
+        );
+        assert!(WorkerChaos::parse("explode@a/b").is_err());
+        assert!(WorkerChaos::parse("die@ab").is_err());
+        assert!(WorkerChaos::parse("die").is_err());
+    }
+}

@@ -1,0 +1,237 @@
+//! End-to-end fabric tests with in-process workers: the coordinator runs
+//! on the test thread, workers run on plain `std::thread`s that call
+//! [`run_worker`] against the ephemeral listen port. No subprocesses here
+//! (the CLI e2e suite covers process-level death); these tests pin down
+//! the protocol, the retry policy split, and CSV byte-identity.
+
+use std::sync::mpsc;
+use std::time::Duration;
+
+use cochar_colocation::{Heatmap, SweepPolicy};
+use cochar_fabric::{
+    run_campaign, run_worker, CampaignSpec, FabricConfig, WorkerChaos, WorkerConfig,
+};
+
+const NAMES: [&str; 3] = ["blackscholes", "swaptions", "stream"];
+
+fn tiny_spec() -> CampaignSpec {
+    CampaignSpec {
+        machine: "tiny".into(),
+        work: 0.1,
+        threads: 1,
+        trials: 1,
+        seed: 7,
+        msr: 0,
+        names: NAMES.iter().map(|s| s.to_string()).collect(),
+    }
+}
+
+/// Runs `spec` through the fabric with `n` in-process workers, each
+/// configured by `mk_cfg(i, addr)`.
+fn run_distributed(
+    spec: &CampaignSpec,
+    cfg: FabricConfig,
+    n: usize,
+    mk_cfg: impl Fn(usize, &str) -> WorkerConfig,
+) -> cochar_fabric::FabricOutcome {
+    let (tx, rx) = mpsc::channel();
+    let cfg = FabricConfig { on_bound: Some(tx), ..cfg };
+    let study = spec.build_study(None).expect("spec builds");
+    std::thread::scope(|scope| {
+        let spec2 = spec.clone();
+        let coord = scope.spawn(move || run_campaign(&study, &spec2, &cfg, |_, _| {}));
+        let addr = rx
+            .recv_timeout(Duration::from_secs(30))
+            .expect("coordinator publishes its address");
+        for i in 0..n {
+            let wcfg = mk_cfg(i, &addr);
+            // Detached on purpose: a hang-chaos worker sleeps forever and
+            // must not block test exit; healthy workers finish on `done`.
+            std::thread::spawn(move || {
+                let _ = run_worker(&wcfg);
+            });
+        }
+        coord.join().expect("coordinator thread").expect("campaign succeeds")
+    })
+}
+
+fn reference_csv(spec: &CampaignSpec) -> String {
+    let study = spec.build_study(None).expect("spec builds");
+    let names: Vec<&str> = spec.names.iter().map(|s| s.as_str()).collect();
+    Heatmap::compute(&study, &names).to_csv()
+}
+
+#[test]
+fn distributed_equals_local() {
+    let spec = tiny_spec();
+    let outcome = run_distributed(&spec, FabricConfig::default(), 2, |i, addr| {
+        let mut c = WorkerConfig::new(addr);
+        c.label = format!("w{i}");
+        c
+    });
+    assert!(outcome.failures.is_empty(), "failures: {:?}", outcome.failures);
+    assert_eq!(outcome.heatmap.to_csv(), reference_csv(&spec));
+    assert!(outcome.ledger.workers >= 1);
+    assert!(outcome.ledger.leases_issued as usize >= NAMES.len() * NAMES.len());
+    assert!(!outcome.store_degraded);
+}
+
+#[test]
+fn panicking_cell_is_retried_by_coordinator() {
+    let spec = tiny_spec();
+    let cfg = FabricConfig {
+        policy: SweepPolicy { max_retries: 1, keep_going: true },
+        ..FabricConfig::default()
+    };
+    // The worker's chaos cell panics on attempt 0 and succeeds from
+    // attempt 1 — so the CSV only matches the reference if the
+    // coordinator actually re-issues with a bumped attempt.
+    let outcome = run_distributed(&spec, cfg, 1, |_, addr| {
+        let mut c = WorkerConfig::new(addr);
+        c.chaos_cell = Some(("swaptions".into(), "stream".into(), 1));
+        c
+    });
+    assert!(outcome.failures.is_empty(), "failures: {:?}", outcome.failures);
+    assert!(outcome.ledger.cell_retries >= 1);
+    // The retried cell reseeds with attempt 1, so the reference is a
+    // single-process *supervised* sweep under the same chaos cell — the
+    // fabric must agree with it byte-for-byte, including the retry.
+    let ref_study = spec
+        .build_study(None)
+        .expect("spec builds")
+        .with_chaos_cell("swaptions", "stream", 1);
+    let names: Vec<&str> = spec.names.iter().map(|s| s.as_str()).collect();
+    let (ref_map, ref_failures) = Heatmap::compute_supervised(
+        &ref_study,
+        &names,
+        SweepPolicy { max_retries: 1, keep_going: true },
+        |_, _| {},
+    );
+    assert!(ref_failures.is_empty());
+    assert_eq!(outcome.heatmap.to_csv(), ref_map.to_csv());
+}
+
+#[test]
+fn exhausted_retries_leave_a_hole() {
+    let spec = tiny_spec();
+    let cfg = FabricConfig {
+        policy: SweepPolicy { max_retries: 1, keep_going: true },
+        ..FabricConfig::default()
+    };
+    // Succeeds only from attempt 5, budget allows attempts 0 and 1.
+    let outcome = run_distributed(&spec, cfg, 1, |_, addr| {
+        let mut c = WorkerConfig::new(addr);
+        c.chaos_cell = Some(("swaptions".into(), "stream".into(), 5));
+        c
+    });
+    assert_eq!(outcome.failures.len(), 1);
+    let f = &outcome.failures[0];
+    assert_eq!(f.spec, "swaptions/stream");
+    assert_eq!(f.attempts, 2, "max_retries 1 means exactly two attempts");
+    let csv = outcome.heatmap.to_csv();
+    assert!(csv.contains("NaN") || csv.contains("nan"), "hole in csv: {csv}");
+}
+
+#[test]
+fn hung_worker_lease_expires_and_cell_is_reissued() {
+    let spec = tiny_spec();
+    let cfg = FabricConfig {
+        lease_timeout: Duration::from_millis(400),
+        ..FabricConfig::default()
+    };
+    // Both workers arm the same hang cell: chaos fires only on the first
+    // issue, so whichever worker draws the trigger cell silences its
+    // heartbeat and sleeps — the other must pick up the expired lease and
+    // compute the re-issue (issue 1) normally.
+    let outcome = run_distributed(&spec, cfg, 2, |i, addr| {
+        let mut c = WorkerConfig::new(addr);
+        c.label = format!("w{i}");
+        c.chaos_worker =
+            Some(WorkerChaos::Hang { fg: "blackscholes".into(), bg: "swaptions".into() });
+        c
+    });
+    assert!(outcome.failures.is_empty(), "failures: {:?}", outcome.failures);
+    assert!(outcome.ledger.leases_reissued >= 1, "ledger: {:?}", outcome.ledger);
+    assert_eq!(outcome.heatmap.to_csv(), reference_csv(&spec));
+}
+
+#[test]
+fn store_backed_campaign_is_cached_on_rerun() {
+    let dir = std::env::temp_dir()
+        .join(format!("cochar-fabric-test-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let spec = tiny_spec();
+    let store = cochar_store::RunStore::open(&dir).expect("store opens");
+    let study = spec.build_study(Some(store)).expect("spec builds");
+
+    let (tx, rx) = mpsc::channel();
+    let cfg = FabricConfig { on_bound: Some(tx), ..FabricConfig::default() };
+    let first = std::thread::scope(|scope| {
+        let coord = scope.spawn(|| run_campaign(&study, &spec, &cfg, |_, _| {}));
+        let addr = rx.recv_timeout(Duration::from_secs(30)).expect("bound");
+        std::thread::spawn(move || {
+            let _ = run_worker(&WorkerConfig::new(&addr));
+        });
+        coord.join().expect("join").expect("campaign succeeds")
+    });
+    assert!(first.failures.is_empty());
+    assert!(first.ledger.records_merged > 0, "worker results land in the store");
+
+    // Second run over the same store: every cell resolves from cache, no
+    // listener, no workers — and the CSV is byte-identical.
+    let cfg2 = FabricConfig::default();
+    let second = run_campaign(&study, &spec, &cfg2, |_, _| {}).expect("cached rerun");
+    assert_eq!(second.ledger.cells_cached as usize, NAMES.len() * NAMES.len());
+    assert_eq!(second.ledger.leases_issued, 0);
+    assert_eq!(first.heatmap.to_csv(), second.heatmap.to_csv());
+
+    drop(study);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn mismatched_fingerprint_claim_is_dismissed() {
+    use cochar_fabric::wire::{write_frame, Frame, FrameReader, Msg};
+
+    let spec = tiny_spec();
+    let (tx, rx) = mpsc::channel();
+    let cfg = FabricConfig { on_bound: Some(tx), ..FabricConfig::default() };
+    let study = spec.build_study(None).expect("spec builds");
+    let outcome = std::thread::scope(|scope| {
+        let coord = scope.spawn(|| run_campaign(&study, &spec, &cfg, |_, _| {}));
+        let addr = rx.recv_timeout(Duration::from_secs(30)).expect("bound");
+
+        // A raw client that echoes the wrong fingerprint: it must get
+        // `done` (dismissal), never a lease.
+        let stream = std::net::TcpStream::connect(&addr).expect("connect");
+        stream.set_read_timeout(Some(Duration::from_millis(200))).unwrap();
+        let mut writer = stream.try_clone().expect("clone");
+        let mut reader = FrameReader::new(stream);
+        let fp = loop {
+            match reader.next_frame().expect("hello frame") {
+                Frame::Msg(Msg::Hello { fp, .. }) => break fp,
+                Frame::Idle => continue,
+                other => panic!("expected hello, got {other:?}"),
+            }
+        };
+        write_frame(&mut writer, &Msg::Claim { fp: fp ^ 1, worker: "impostor".into() })
+            .expect("claim");
+        let reply = loop {
+            match reader.next_frame().expect("reply frame") {
+                Frame::Msg(m) => break m,
+                Frame::Idle => continue,
+                Frame::Eof => panic!("eof before reply"),
+            }
+        };
+        assert!(matches!(reply, Msg::Done), "impostor got {reply:?}");
+
+        // An honest worker then completes the campaign.
+        let waddr = addr.clone();
+        std::thread::spawn(move || {
+            let _ = run_worker(&WorkerConfig::new(&waddr));
+        });
+        coord.join().expect("join").expect("campaign succeeds")
+    });
+    assert!(outcome.failures.is_empty());
+    assert_eq!(outcome.heatmap.to_csv(), reference_csv(&spec));
+}

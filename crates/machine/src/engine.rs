@@ -804,14 +804,15 @@ impl<'a> Engine<'a> {
         core.time += 1;
 
         // --- Prefetcher training ---
+        // `privs` and `pf_buf` are disjoint fields, so the buffer is
+        // filled in place — no Vec swap in and out of `self` per access.
         let obs = AccessObservation { pc: pm.pc, line, l1_hit: false, l2_hit: l2_hit.is_some() };
-        let mut buf = std::mem::take(&mut self.pf_buf);
-        buf.clear();
-        self.privs[i].pf.observe(&obs, &mut buf);
-        for req in buf.drain(..) {
+        self.pf_buf.clear();
+        self.privs[i].pf.observe(&obs, &mut self.pf_buf);
+        for k in 0..self.pf_buf.len() {
+            let req = self.pf_buf[k];
             self.issue_prefetch(i, req, now, app);
         }
-        self.pf_buf = buf;
 
         // Bound the in-flight map. The bound is a pure locality knob:
         // reads filter on `completion > now`, so dead entries are never

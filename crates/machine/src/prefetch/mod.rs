@@ -56,10 +56,20 @@ pub struct PrefetchReq {
 /// doubled by useless prefetches.
 const SPATIAL_WINDOW: i64 = 4;
 
+/// Flattened enable bits, precomputed from the MSR (which uses inverted
+/// *disable* semantics) so the per-access dispatch tests one resident
+/// byte instead of re-deriving four enables from the raw register.
+const A_IP: u8 = 1 << 0;
+const A_NEXT: u8 = 1 << 1;
+const A_STREAM: u8 = 1 << 2;
+const A_ADJ: u8 = 1 << 3;
+
 /// One core's full prefetch unit: the four prefetchers plus the MSR that
 /// gates them.
 pub struct PrefetchUnit {
     msr: Msr,
+    /// Enable mask derived from `msr`; kept in sync by [`Self::write_msr`].
+    active: u8,
     stream: StreamPrefetcher,
     adjacent: AdjacentLine,
     nextline: NextLine,
@@ -68,11 +78,29 @@ pub struct PrefetchUnit {
     spatial_streak: bool,
 }
 
+fn enable_mask(msr: Msr) -> u8 {
+    let mut a = 0;
+    if msr.l1_ip_enabled() {
+        a |= A_IP;
+    }
+    if msr.l1_next_line_enabled() {
+        a |= A_NEXT;
+    }
+    if msr.l2_stream_enabled() {
+        a |= A_STREAM;
+    }
+    if msr.l2_adjacent_enabled() {
+        a |= A_ADJ;
+    }
+    a
+}
+
 impl PrefetchUnit {
     /// A fresh unit with the given MSR setting.
     pub fn new(msr: Msr) -> Self {
         PrefetchUnit {
             msr,
+            active: enable_mask(msr),
             stream: StreamPrefetcher::default(),
             adjacent: AdjacentLine,
             nextline: NextLine,
@@ -91,30 +119,34 @@ impl PrefetchUnit {
     /// way, mirroring `wrmsr` on the real machine).
     pub fn write_msr(&mut self, msr: Msr) {
         self.msr = msr;
+        self.active = enable_mask(msr);
     }
 
     /// Observes one demand access and appends candidate prefetches.
     pub fn observe(&mut self, obs: &AccessObservation, out: &mut Vec<PrefetchReq>) {
-        if self.msr.l1_ip_enabled() {
+        let active = self.active;
+        if active & A_IP != 0 {
             self.ip.observe(obs, out);
         }
         if !obs.l1_hit {
             // Track whether misses are streaming: the simple spatial
-            // prefetchers only fire inside a spatial streak.
+            // prefetchers only fire inside a spatial streak. The streak
+            // state updates even with everything disabled, so an MSR
+            // rewrite mid-run re-enables against current history.
             let spatial = self.last_miss_line != u64::MAX
                 && (obs.line as i64 - self.last_miss_line as i64).abs() <= SPATIAL_WINDOW;
             self.spatial_streak = spatial;
             self.last_miss_line = obs.line;
 
-            if self.spatial_streak && self.msr.l1_next_line_enabled() {
+            if self.spatial_streak && active & A_NEXT != 0 {
                 self.nextline.observe(obs, out);
             }
             // The stream prefetcher has its own multi-stream training and
             // sees every L2 access (= L1 miss).
-            if self.msr.l2_stream_enabled() {
+            if active & A_STREAM != 0 {
                 self.stream.observe(obs, out);
             }
-            if self.spatial_streak && !obs.l2_hit && self.msr.l2_adjacent_enabled() {
+            if self.spatial_streak && !obs.l2_hit && active & A_ADJ != 0 {
                 self.adjacent.observe(obs, out);
             }
         }
@@ -178,6 +210,29 @@ mod tests {
         assert!(out.is_empty(), "first miss has no streak yet");
         u.observe(&obs(11), &mut out);
         assert_eq!(out, vec![PrefetchReq { line: 10, into_l1: false }]);
+    }
+
+    #[test]
+    fn write_msr_keeps_dispatch_mask_in_sync() {
+        let mut u = PrefetchUnit::new(Msr::all_on());
+        let mut out = Vec::new();
+        for l in 100..116 {
+            u.observe(&obs(l), &mut out);
+        }
+        assert!(!out.is_empty());
+
+        u.write_msr(Msr::all_off());
+        out.clear();
+        for l in 200..216 {
+            u.observe(&obs(l), &mut out);
+        }
+        assert!(out.is_empty(), "disabled unit still emitted {out:?}");
+
+        u.write_msr(Msr::all_on());
+        for l in 216..232 {
+            u.observe(&obs(l), &mut out);
+        }
+        assert!(!out.is_empty(), "re-enabled unit stayed silent");
     }
 
     #[test]

@@ -134,6 +134,76 @@ pub fn parse_record(line: &str) -> Result<(RunKey, RunOutcome), StoreError> {
     Ok((key, outcome))
 }
 
+/// Classifies every line of raw journal bytes under the crash model:
+/// interior lines parse-and-verify or count as corrupt; an unterminated
+/// final line is torn regardless of content. Valid records stream through
+/// `on_record` in file order (its return distinguishes first-seen from
+/// duplicate for the tallies). Returns the report and the torn tail's
+/// byte length (for callers that repair the file).
+fn replay(
+    raw: &[u8],
+    mut on_record: impl FnMut(RunKey, RunOutcome) -> bool,
+) -> (ReplayReport, usize) {
+    let mut report = ReplayReport::default();
+    let complete = raw.split_last().map(|(last, _)| *last == b'\n').unwrap_or(true);
+    let lines: Vec<&[u8]> = raw.split(|&b| b == b'\n').filter(|l| !l.is_empty()).collect();
+    let n = lines.len();
+    let mut torn_bytes = 0usize;
+    for (i, line) in lines.into_iter().enumerate() {
+        // Strict crash model: a final line with no trailing newline is
+        // torn no matter what it contains — even if it happens to parse,
+        // the append that produced it did not complete, so it is not
+        // trusted.
+        if i + 1 == n && !complete {
+            report.torn += 1;
+            torn_bytes = line.len();
+            continue;
+        }
+        let parsed = std::str::from_utf8(line)
+            .map_err(|_| StoreError::Corrupt("non-utf8 line".into()))
+            .and_then(parse_record);
+        match parsed {
+            Ok((key, outcome)) => {
+                if on_record(key, outcome) {
+                    report.valid += 1;
+                } else {
+                    report.duplicates += 1;
+                }
+            }
+            Err(_) => report.corrupt += 1,
+        }
+    }
+    (report, torn_bytes)
+}
+
+/// Reads every trustworthy record from the journal file at `path`
+/// without opening it for appending: no tail repair, no writer lock —
+/// safe on a file whose owning process was killed mid-append. A missing
+/// file is an empty journal. Records come back in file order, duplicates
+/// included (the report tallies them); torn tails and corrupt lines are
+/// classified exactly as a store open would.
+pub fn read_records(
+    path: &Path,
+) -> Result<(Vec<(RunKey, RunOutcome)>, ReplayReport), StoreError> {
+    let mut raw = Vec::new();
+    match File::open(path) {
+        Ok(mut f) => {
+            f.read_to_end(&mut raw)?;
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Ok((Vec::new(), ReplayReport::default()));
+        }
+        Err(e) => return Err(e.into()),
+    }
+    let mut seen = std::collections::HashSet::new();
+    let mut records = Vec::new();
+    let (report, _torn) = replay(&raw, |key, outcome| {
+        records.push((key, outcome));
+        seen.insert(key)
+    });
+    Ok((records, report))
+}
+
 /// Factory recreating the append sink after the file is (re)opened.
 pub type SinkFactory = Box<dyn Fn(File) -> Box<dyn AppendSink> + Send>;
 
@@ -166,7 +236,7 @@ impl Journal {
     /// survives compaction.
     pub fn open_with(
         dir: &Path,
-        mut on_record: impl FnMut(RunKey, RunOutcome) -> bool,
+        on_record: impl FnMut(RunKey, RunOutcome) -> bool,
         wrap: SinkFactory,
     ) -> Result<(Journal, ReplayReport), StoreError> {
         let path = dir.join(JOURNAL_FILE);
@@ -174,35 +244,8 @@ impl Journal {
         if path.exists() {
             let mut raw = Vec::new();
             File::open(&path)?.read_to_end(&mut raw)?;
-            let complete = raw.split_last().map(|(last, _)| *last == b'\n').unwrap_or(true);
-            let lines: Vec<&[u8]> =
-                raw.split(|&b| b == b'\n').filter(|l| !l.is_empty()).collect();
-            let n = lines.len();
-            let mut torn_bytes = 0usize;
-            for (i, line) in lines.into_iter().enumerate() {
-                // Strict crash model: a final line with no trailing newline
-                // is torn no matter what it contains — even if it happens
-                // to parse, the append that produced it did not complete,
-                // so it is not trusted.
-                if i + 1 == n && !complete {
-                    report.torn += 1;
-                    torn_bytes = line.len();
-                    continue;
-                }
-                let parsed = std::str::from_utf8(line)
-                    .map_err(|_| StoreError::Corrupt("non-utf8 line".into()))
-                    .and_then(parse_record);
-                match parsed {
-                    Ok((key, outcome)) => {
-                        if on_record(key, outcome) {
-                            report.valid += 1;
-                        } else {
-                            report.duplicates += 1;
-                        }
-                    }
-                    Err(_) => report.corrupt += 1,
-                }
-            }
+            let (rep, torn_bytes) = replay(&raw, on_record);
+            report = rep;
             // Tail repair: chop the torn fragment off the file before the
             // append handle opens, so the next record starts at a line
             // boundary instead of gluing itself onto garbage.

@@ -38,11 +38,13 @@ pub mod codec;
 pub mod faults;
 pub mod json;
 pub mod journal;
+pub mod lock;
 pub mod store;
 
 pub use faults::{ChaosFile, Fault, FaultPlan};
-pub use journal::{AppendSink, ReplayReport};
-pub use store::{RunKey, RunStore, StoreStats, SCHEMA_VERSION};
+pub use journal::{read_records, AppendSink, ReplayReport};
+pub use lock::StoreLock;
+pub use store::{MergeReport, RunKey, RunStore, StoreStats, SCHEMA_VERSION};
 
 use std::fmt;
 
@@ -55,6 +57,8 @@ pub enum StoreError {
     Schema(String),
     /// A journal record failed to parse or verify.
     Corrupt(String),
+    /// Another live process holds the store's writer lock.
+    Locked(String),
 }
 
 impl fmt::Display for StoreError {
@@ -63,6 +67,7 @@ impl fmt::Display for StoreError {
             StoreError::Io(e) => write!(f, "store io: {e}"),
             StoreError::Schema(msg) => write!(f, "store schema: {msg}"),
             StoreError::Corrupt(msg) => write!(f, "store record: {msg}"),
+            StoreError::Locked(msg) => write!(f, "store locked: {msg}"),
         }
     }
 }

@@ -1,0 +1,148 @@
+//! Advisory multi-writer protection for a store directory.
+//!
+//! A [`StoreLock`] is a `journal.lock` file created with `create_new`
+//! next to the journal, holding the owner's pid. Opening a store acquires
+//! it; a second opener — most dangerously a concurrent `store gc`, whose
+//! atomic rewrite would discard records another process is appending —
+//! gets [`StoreError::Locked`] with the owner's pid instead of silently
+//! corrupting the shared journal.
+//!
+//! The lock is *advisory within this suite*: every writer goes through
+//! [`crate::RunStore`], which acquires it, but nothing stops an external
+//! process from editing the file. Crash recovery is automatic: a lock
+//! whose pid is no longer alive (checked via `/proc/<pid>` on Linux) is
+//! stale and is broken on acquire. On non-Linux platforms liveness cannot
+//! be probed cheaply, so an existing lock is always honored — err on the
+//! side of refusing, never on the side of two writers.
+
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::StoreError;
+
+/// Lock file name inside a store directory.
+pub const LOCK_FILE: &str = "journal.lock";
+
+/// An acquired store lock; released (file removed) on drop.
+#[derive(Debug)]
+pub struct StoreLock {
+    path: PathBuf,
+}
+
+impl StoreLock {
+    /// Acquires the lock in `dir`, breaking a stale one if its owner is
+    /// provably dead.
+    pub fn acquire(dir: &Path) -> Result<StoreLock, StoreError> {
+        let path = dir.join(LOCK_FILE);
+        // One break-and-retry round per distinct stale owner; bounded so
+        // a livelock against a crash-looping peer cannot spin forever.
+        for _ in 0..3 {
+            match std::fs::OpenOptions::new().write(true).create_new(true).open(&path) {
+                Ok(mut f) => {
+                    // Losing the pid write is harmless: an empty lock
+                    // file reads as unparseable, which is treated as
+                    // stale on the next acquire attempt after we drop it.
+                    let _ = writeln!(f, "{}", std::process::id());
+                    return Ok(StoreLock { path });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    match read_owner(&path) {
+                        Some(pid) if pid_alive(pid) => {
+                            return Err(StoreError::Locked(format!(
+                                "{} is held by pid {pid}",
+                                path.display()
+                            )));
+                        }
+                        Some(_) | None => {
+                            // Dead owner or garbage: break the lock. The
+                            // remove can race another breaker; both fall
+                            // through to a fresh create_new attempt.
+                            let _ = std::fs::remove_file(&path);
+                        }
+                    }
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Err(StoreError::Locked(format!(
+            "{} keeps reappearing while being broken (crash-looping writer?)",
+            path.display()
+        )))
+    }
+
+    /// The lock file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for StoreLock {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+fn read_owner(path: &Path) -> Option<u32> {
+    let mut text = String::new();
+    std::fs::File::open(path).ok()?.read_to_string(&mut text).ok()?;
+    text.trim().parse().ok()
+}
+
+#[cfg(target_os = "linux")]
+fn pid_alive(pid: u32) -> bool {
+    Path::new(&format!("/proc/{pid}")).exists()
+}
+
+#[cfg(not(target_os = "linux"))]
+fn pid_alive(_pid: u32) -> bool {
+    // No cheap liveness probe: treat every recorded owner as alive and
+    // refuse, which is the safe direction for an advisory lock.
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cochar-lock-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn second_acquire_is_refused_and_release_frees() {
+        let dir = tmpdir("basic");
+        let lock = StoreLock::acquire(&dir).unwrap();
+        match StoreLock::acquire(&dir) {
+            Err(StoreError::Locked(msg)) => {
+                assert!(msg.contains(&std::process::id().to_string()), "{msg}");
+            }
+            other => panic!("expected Locked, got {other:?}"),
+        }
+        drop(lock);
+        assert!(!dir.join(LOCK_FILE).exists());
+        let _relock = StoreLock::acquire(&dir).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn stale_lock_from_dead_pid_is_broken() {
+        let dir = tmpdir("stale");
+        // Pick a pid that cannot be alive: pid_max on Linux is < 2^22 by
+        // default and never exceeds 2^31; u32::MAX is out of range.
+        std::fs::write(dir.join(LOCK_FILE), format!("{}\n", u32::MAX)).unwrap();
+        let _lock = StoreLock::acquire(&dir).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn garbage_lock_is_broken() {
+        let dir = tmpdir("garbage");
+        std::fs::write(dir.join(LOCK_FILE), "not a pid\n").unwrap();
+        let _lock = StoreLock::acquire(&dir).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -70,9 +70,21 @@ pub struct StoreStats {
     pub resident: u64,
 }
 
+/// Tallies from merging foreign records into a store.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MergeReport {
+    /// Records that were new and were appended to the journal.
+    pub added: u64,
+    /// Records already resident (same fingerprint), skipped.
+    pub duplicates: u64,
+}
+
 struct Inner {
     index: HashMap<RunKey, Arc<RunOutcome>>,
     journal: Journal,
+    /// Held for the store's whole lifetime; released (file removed) when
+    /// the last clone drops.
+    _lock: crate::lock::StoreLock,
 }
 
 /// A content-addressed, crash-safe store of run outcomes.
@@ -111,6 +123,11 @@ impl RunStore {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)?;
         Self::check_schema(&dir)?;
+        // Writer lock before replay: two processes replaying and then
+        // appending to the same journal would interleave their records
+        // and, worse, a concurrent gc rewrite would drop the other
+        // writer's appends. One live store handle per directory.
+        let lock = crate::lock::StoreLock::acquire(&dir)?;
         let mut index: HashMap<RunKey, Arc<RunOutcome>> = HashMap::new();
         let wrap: crate::journal::SinkFactory = if plan.is_empty() {
             Box::new(|f| Box::new(crate::journal::FileSink::new(f)))
@@ -123,7 +140,7 @@ impl RunStore {
             wrap,
         )?;
         Ok(RunStore {
-            inner: Arc::new(Mutex::new(Inner { index, journal })),
+            inner: Arc::new(Mutex::new(Inner { index, journal, _lock: lock })),
             dir,
             replay,
             hits: Arc::new(AtomicU64::new(0)),
@@ -217,6 +234,47 @@ impl RunStore {
         let mut v: Vec<_> = inner.index.iter().map(|(k, o)| (*k, Arc::clone(o))).collect();
         v.sort_by_key(|(k, _)| *k);
         v
+    }
+
+    /// Merges foreign records (another store's replayed journal, records
+    /// off the fabric wire) into this store under one index lock.
+    ///
+    /// Pure dedup by fingerprint: a key already resident is counted as a
+    /// duplicate and skipped — outcomes are deterministic functions of
+    /// their key, so the resident record is already the right bytes. New
+    /// records are journaled and installed. An append failure aborts the
+    /// merge mid-way; everything already appended stays valid.
+    pub fn merge_records(
+        &self,
+        records: impl IntoIterator<Item = (RunKey, Arc<RunOutcome>)>,
+    ) -> Result<MergeReport, StoreError> {
+        let mut inner = self.inner.lock().unwrap();
+        let mut report = MergeReport::default();
+        for (key, outcome) in records {
+            if inner.index.contains_key(&key) {
+                report.duplicates += 1;
+                continue;
+            }
+            inner.journal.append(key, &outcome)?;
+            inner.index.insert(key, outcome);
+            self.puts.fetch_add(1, Ordering::Relaxed);
+            report.added += 1;
+        }
+        Ok(report)
+    }
+
+    /// Merges every trustworthy record of the journal file at `path`
+    /// (typically a dead worker's store) into this store. The file is
+    /// only read — torn tails and corrupt lines are dropped exactly as a
+    /// replay would, and reported alongside the merge tallies.
+    pub fn merge_journal(
+        &self,
+        path: &Path,
+    ) -> Result<(MergeReport, crate::journal::ReplayReport), StoreError> {
+        let (records, replay) = crate::journal::read_records(path)?;
+        let report =
+            self.merge_records(records.into_iter().map(|(k, o)| (k, Arc::new(o))))?;
+        Ok((report, replay))
     }
 
     /// Counter snapshot.
@@ -352,6 +410,7 @@ mod tests {
             }
         });
         assert_eq!(store.len(), 100);
+        drop(store);
         let fresh = RunStore::open(&dir).unwrap();
         assert_eq!(fresh.len(), 100);
         assert_eq!(fresh.replay_report().corrupt, 0);

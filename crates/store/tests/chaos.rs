@@ -106,17 +106,22 @@ proptest! {
         prop_assert!(report.corrupt + report.torn <= hazards, "{report:?} vs {hazards} hazards");
 
         // Phase 3: the first reopen repaired any torn tail, so a second
-        // reopen sees a fully clean file with the same record set.
+        // reopen sees a fully clean file with the same record set. (Each
+        // handle is dropped before the next open: the store is
+        // single-writer and a live handle holds the journal lock.)
+        let reopened_len = reopened.len();
+        drop(reopened);
         let again = RunStore::open(&dir).unwrap();
         let second = again.replay_report();
         prop_assert_eq!(second.torn, 0, "tail not repaired: {second:?}");
         prop_assert_eq!(second.valid, report.valid);
         prop_assert_eq!(second.corrupt, report.corrupt);
-        prop_assert_eq!(again.len(), reopened.len());
+        prop_assert_eq!(again.len(), reopened_len);
 
         // Phase 4: the repaired store accepts appends on a clean line
         // boundary and nothing regresses.
         again.put(RunKey(10_000), outcome(9_999)).unwrap();
+        drop(again);
         let fresh = RunStore::open(&dir).unwrap();
         prop_assert_eq!(fresh.replay_report().torn, 0);
         prop_assert_eq!(fresh.replay_report().valid, second.valid + 1);
@@ -142,6 +147,7 @@ fn kill_mid_append_tears_exactly_the_dying_record() {
     assert_eq!(store.replay_report().valid, 2);
     assert!(store.get(RunKey(1)).is_some() && store.get(RunKey(2)).is_some());
     assert!(store.get(RunKey(3)).is_none());
+    drop(store);
 
     let repaired = RunStore::open(&dir).unwrap();
     assert_eq!(repaired.replay_report().torn, 0);

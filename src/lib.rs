@@ -15,6 +15,8 @@
 //! * [`graphs`] — R-MAT graphs, CSR, algorithms, engine models.
 //! * [`workloads`] — the 25 applications + 2 mini-benchmarks (Table I).
 //! * [`colocation`] — the measurement methodology (the paper's core).
+//! * [`fabric`] — the distributed sweep fabric: shard one characterization
+//!   campaign across worker processes over the shared run store.
 //! * [`predict`] — counter-signature interference prediction (O(N) solo
 //!   signatures instead of the O(N²) pair sweep).
 //! * [`sched`] — consolidation policies over measured or predicted costs.
@@ -45,6 +47,7 @@
 
 pub use cochar_cluster as cluster;
 pub use cochar_colocation as colocation;
+pub use cochar_fabric as fabric;
 pub use cochar_graphs as graphs;
 pub use cochar_machine as machine;
 pub use cochar_predict as predict;
