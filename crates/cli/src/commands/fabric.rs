@@ -21,8 +21,8 @@ use std::time::Duration;
 use cochar_colocation::report::heat::ascii_heatmap;
 use cochar_colocation::SweepPolicy;
 use cochar_fabric::{
-    run_campaign, run_worker, CampaignSpec, FabricConfig, FabricOutcome, WorkerChaos,
-    WorkerCmd, WorkerConfig,
+    run_campaign, run_worker, CampaignSpec, FabricConfig, FabricOutcome, WirePlan,
+    WorkerChaos, WorkerCmd, WorkerConfig,
 };
 use cochar_colocation::Study;
 
@@ -101,6 +101,7 @@ fn coordinate(opts: &Opts, workers: usize, bind: &str) -> Result<ExitCode, Strin
             args: vec!["fabric".into(), "work".into()],
         }),
         resolve_cached: !chaos_armed,
+        resume: opts.switch("resume"),
         on_bound: Some(tx),
         ..FabricConfig::default()
     };
@@ -118,9 +119,12 @@ fn coordinate(opts: &Opts, workers: usize, bind: &str) -> Result<ExitCode, Strin
         if completed % step == 0 || completed == total {
             eprintln!("sweep: {completed}/{total} cells");
         }
-    })?;
+    });
+    // A fully-cached campaign never binds a listener: drop our half of
+    // the on_bound channel so the announce thread sees the end either way.
+    drop(cfg);
     let _ = announce.join();
-    report(opts, &study, &spec, &outcome)
+    report(opts, &study, &spec, &outcome?)
 }
 
 /// Prints the heatmap block (identical to `cochar heatmap`) plus the
@@ -154,17 +158,23 @@ fn report(
     let l = &outcome.ledger;
     let cells = spec.names.len() * spec.names.len();
     let pair_secs = outcome.pair_wall.as_secs_f64();
+    if let Some(prior) = &outcome.resumed {
+        println!(
+            "fabric: resumed after {} prior run(s) ({} lease(s) issued before this run)",
+            prior.runs, prior.ledger.leases_issued
+        );
+    }
     println!(
-        "fabric: workers {}, deaths {}, respawns {}",
-        l.workers, l.worker_deaths, l.respawns
+        "fabric: workers {}, deaths {}, respawns {}, reconnects {}",
+        l.workers, l.worker_deaths, l.respawns, l.reconnects
     );
     println!(
         "fabric: leases issued {}, re-issued {}, cell retries {}, cells cached {}",
         l.leases_issued, l.leases_reissued, l.cell_retries, l.cells_cached
     );
     println!(
-        "fabric: records merged {}, duplicates {}",
-        l.records_merged, l.records_duplicate
+        "fabric: records merged {}, duplicates {}, results dismissed {}, wire faults {}",
+        l.records_merged, l.records_duplicate, l.results_duplicate, l.wire_faults
     );
     println!(
         "fabric: solo phase {:.2}s, pair phase {:.2}s ({:.2} cells/s)",
@@ -213,10 +223,21 @@ fn work(opts: &Opts) -> Result<ExitCode, String> {
         })?);
         eprintln!("chaos: worker {} armed {spec}", cfg.label);
     }
+    if let Ok(spec) = std::env::var("COCHAR_CHAOS_WIRE") {
+        cfg.chaos_wire =
+            Some(WirePlan::parse(&spec).map_err(|e| format!("COCHAR_CHAOS_WIRE: {e}"))?);
+        eprintln!("chaos: worker {} armed wire plan {spec}", cfg.label);
+    }
+    if let Some(ms) = opts.flag("connect-retry-ms") {
+        let ms: u64 =
+            ms.parse().map_err(|_| format!("invalid --connect-retry-ms {ms:?}"))?;
+        cfg.connect_retry = Duration::from_millis(ms);
+    }
+    cfg.max_reconnects = opts.flag_parse("max-reconnects", cfg.max_reconnects)?;
     let summary = run_worker(&cfg)?;
     eprintln!(
-        "fabric: worker {} done ({} lease(s), {} cell(s), {} panic(s))",
-        cfg.label, summary.leases, summary.cells, summary.panics
+        "fabric: worker {} done ({} lease(s), {} cell(s), {} panic(s), {} reconnect(s))",
+        cfg.label, summary.leases, summary.cells, summary.panics, summary.reconnects
     );
     Ok(ExitCode::SUCCESS)
 }

@@ -58,7 +58,8 @@ commands:
                                (CSV is byte-identical to `heatmap`)
   fabric serve <apps...>       coordinator only [--bind HOST:PORT] [--workers N]
   fabric work --connect ADDR   worker only [--worker-store DIR] [--label L]
-                               [--pin-cpu N]
+                               [--pin-cpu N] [--connect-retry-ms T (default 5000)]
+                               [--max-reconnects N (default 8)]
   scalability <app>            1..N thread sweep [--max-threads N]
   prefetch <app>               prefetcher sensitivity [--breakdown]
   bubble <app>                 Bubble-Up pressure sensitivity curve
@@ -91,7 +92,9 @@ commands:
 global flags: --machine bench|scaled|paper   --work F   --threads N
               --trials N   --seed N
 store flags:  --store DIR   journal completed runs to DIR and reuse them
-              --resume      print what a prior (possibly killed) sweep left
+              --resume      print what a prior (possibly killed) sweep left;
+                            with sweep/fabric serve, re-adopt the store's cells
+                            and refuse a store journaled by different flags
               --no-cache    simulate fresh but still journal results
 sweep flags:  --max-retries N  retry failed cells up to N times (reseeded)
               --keep-going     failed cells become holes; sweep continues (default)

@@ -172,6 +172,47 @@ fn fabric_work_without_coordinator_fails_cleanly() {
 }
 
 #[test]
+fn worker_started_before_serve_wins_the_race() {
+    let dir = tmpdir("race");
+    // Reserve an ephemeral port, then free it for the coordinator.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    drop(listener);
+
+    // Start the worker FIRST: nothing is listening yet. Its bounded
+    // connect retry must carry it across the coordinator's startup,
+    // including the solo phase that runs before the listener binds.
+    let mut worker = Command::new(env!("CARGO_BIN_EXE_cochar"))
+        .args(["fabric", "work", "--connect", &addr, "--connect-retry-ms", "20000"])
+        .current_dir(&dir)
+        .spawn()
+        .expect("worker spawns");
+    std::thread::sleep(std::time::Duration::from_millis(300));
+
+    let mut serve = vec!["fabric", "serve"];
+    serve.extend(APPS);
+    serve.extend(FAST);
+    serve.extend(["--bind", &addr, "--workers", "0", "--csv", "race.csv"]);
+    let out = cochar_dir(&serve, &dir, &[]);
+    assert!(out.status.success(), "serve failed:\n{}", String::from_utf8_lossy(&out.stderr));
+    let status = worker.wait().expect("worker exits");
+    assert!(status.success(), "early worker must be dismissed cleanly, got {status:?}");
+
+    let mut heat = vec!["heatmap"];
+    heat.extend(APPS);
+    heat.extend(FAST);
+    heat.extend(["--csv", "heat.csv"]);
+    let out = cochar_dir(&heat, &dir, &[]);
+    assert!(out.status.success());
+    assert_eq!(
+        std::fs::read(dir.join("race.csv")).unwrap(),
+        std::fs::read(dir.join("heat.csv")).unwrap(),
+        "the race must not change the bytes"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn gc_refuses_while_a_writer_holds_the_journal() {
     let dir = tmpdir("gclock");
     let store_dir = dir.join("runs");

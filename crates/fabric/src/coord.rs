@@ -25,6 +25,18 @@
 //! and local workers' journal files are merged again at teardown (caching
 //! whatever a killed worker computed but never reported). Both merges are
 //! pure dedup by run fingerprint.
+//!
+//! The coordinator itself is recoverable: a store-backed campaign writes
+//! `campaign.json` before issuing any cell and appends its ledger to
+//! `fabric.ledger.jsonl` on completion (see [`crate::recover`]), so a
+//! SIGKILLed coordinator can be rerun with [`FabricConfig::resume`] — the
+//! cached-cell resolution pass re-adopts every cell whose runs already
+//! landed in the journal, and only the missing ones are re-issued.
+//! Duplicate results (a reconnecting worker resending an unacked result,
+//! or a chaos-duplicated frame) are dismissed by the settled-cell check
+//! and counted in [`FabricLedger::results_duplicate`]; the record merge
+//! underneath is content-addressed dedup either way, so nothing is ever
+//! double-merged.
 
 use std::collections::{HashMap, VecDeque};
 use std::net::{TcpListener, TcpStream};
@@ -37,7 +49,8 @@ use cochar_colocation::{CellFailure, CellStatus, Heatmap, Study, SweepPolicy};
 use cochar_store::journal::{parse_record, render_record};
 use cochar_store::RunStore;
 
-use crate::wire::{write_frame, CellOutcome, Frame, FrameReader, Msg, WireCell};
+use crate::recover::{self, ResumePrior};
+use crate::wire::{write_frame, CellOutcome, Frame, FrameReader, Msg, WireCell, WireError};
 use crate::CampaignSpec;
 
 /// How a local worker process is launched: the executable plus the
@@ -77,6 +90,11 @@ pub struct FabricConfig {
     /// Abort the campaign when no worker claims, results, or heartbeats
     /// for this long (dead fabric watchdog).
     pub stall_timeout: Duration,
+    /// Resume a store-backed campaign after a coordinator crash: verify
+    /// `campaign.json` matches these flags (refuse on mismatch), adopt
+    /// cached cells, and report the prior runs' ledgers. Without a store
+    /// this is a no-op.
+    pub resume: bool,
     /// Receives the actual listen address once bound — how remote-worker
     /// tests (and a `--bind 127.0.0.1:0` serve) learn the ephemeral port.
     pub on_bound: Option<std::sync::mpsc::Sender<String>>,
@@ -94,6 +112,7 @@ impl Default for FabricConfig {
             worker_cmd: None,
             resolve_cached: true,
             stall_timeout: Duration::from_secs(300),
+            resume: false,
             on_bound: None,
         }
     }
@@ -108,6 +127,9 @@ pub struct FabricLedger {
     pub worker_deaths: u64,
     /// Replacement local workers spawned after a death.
     pub respawns: u64,
+    /// Workers that reconnected to the campaign after losing their
+    /// connection (claims with `session > 0`).
+    pub reconnects: u64,
     /// Leases handed out.
     pub leases_issued: u64,
     /// Leases lost (death or deadline) whose cells were re-queued.
@@ -120,6 +142,13 @@ pub struct FabricLedger {
     pub records_merged: u64,
     /// Records that were already resident (dedup hits).
     pub records_duplicate: u64,
+    /// Result frames dismissed because their cell was already settled —
+    /// resent after a reconnect, duplicated on the wire, or landed after
+    /// the lease was re-issued. Dismissed, never double-merged.
+    pub results_duplicate: u64,
+    /// Wire protocol errors observed (coordinator-side frame corruption
+    /// plus worker-reported counts riding in on claims).
+    pub wire_faults: u64,
 }
 
 /// What a finished campaign hands back.
@@ -136,6 +165,9 @@ pub struct FabricOutcome {
     pub solo_wall: Duration,
     /// The store could not persist everything (mirrors CLI exit code 3).
     pub store_degraded: bool,
+    /// Set when [`FabricConfig::resume`] found a ledger log: the prior
+    /// runs' accounting (this run's own ledger is `ledger`).
+    pub resumed: Option<ResumePrior>,
 }
 
 /// One queued unit of work.
@@ -177,6 +209,9 @@ struct Coord {
     cfg: FabricConfig,
     next_conn: AtomicU64,
     merge_failed: Mutex<Option<String>>,
+    /// High-water mark of each worker's self-reported wire fault count
+    /// (by label), so re-claims fold only the delta into the ledger.
+    fault_reports: Mutex<HashMap<String, u64>>,
 }
 
 impl Coord {
@@ -326,6 +361,11 @@ impl Coord {
             st.leases.remove(&lease_id);
         }
         if st.cell_done[idx] {
+            // A resent (unacked), chaos-duplicated, or expired-lease
+            // result for a settled cell: dismiss it. The records that
+            // rode along were already deduped by the content-addressed
+            // merge, so nothing is double-counted downstream.
+            st.ledger.results_duplicate += 1;
             return;
         }
         match outcome {
@@ -357,6 +397,22 @@ impl Coord {
         on_cell(settled, total);
     }
 
+    /// Folds a worker's self-reported cumulative wire fault count into
+    /// the ledger, crediting only what is new since its last claim.
+    fn fold_worker_faults(&self, worker: &str, reported: u64) {
+        let delta = {
+            let mut map =
+                self.fault_reports.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            let prev = map.entry(worker.to_string()).or_insert(0);
+            let delta = reported.saturating_sub(*prev);
+            *prev = (*prev).max(reported);
+            delta
+        };
+        if delta > 0 {
+            self.lock().ledger.wire_faults += delta;
+        }
+    }
+
     /// One worker connection, handled on its own thread.
     fn handle_conn(
         &self,
@@ -382,8 +438,23 @@ impl Coord {
         }
         let mut reader = FrameReader::new(stream);
         let mut claimed = false;
-        // A read error is a protocol violation: treat it as worker death.
-        while let Ok(frame) = reader.next_frame() {
+        loop {
+            let frame = match reader.next_frame() {
+                Ok(frame) => frame,
+                Err(WireError::Protocol(e)) => {
+                    // Corrupt or desynced bytes: this link cannot be
+                    // trusted any further. Drop it — the tail below
+                    // requeues whatever it held, and the worker side
+                    // reconnects on its own.
+                    eprintln!("fabric: dropping connection after wire fault: {e}");
+                    self.lock().ledger.wire_faults += 1;
+                    break;
+                }
+                Err(WireError::Io(e)) => {
+                    eprintln!("fabric: connection read failed: {e}");
+                    break;
+                }
+            };
             match frame {
                 Frame::Idle => {
                     if self.lock().done {
@@ -391,7 +462,7 @@ impl Coord {
                     }
                 }
                 Frame::Eof => break,
-                Frame::Msg(Msg::Claim { fp, worker }) => {
+                Frame::Msg(Msg::Claim { fp, worker, session, faults }) => {
                     if fp != self.fp {
                         eprintln!(
                             "fabric: worker {worker:?} echoed fingerprint {fp:016x}, \
@@ -401,12 +472,20 @@ impl Coord {
                         let _ = write_frame(&mut writer, &Msg::Done);
                         break;
                     }
+                    self.fold_worker_faults(&worker, faults);
                     let reply = {
                         let mut st = self.lock();
                         st.last_activity = Instant::now();
                         if !claimed {
                             claimed = true;
-                            st.ledger.workers += 1;
+                            if session == 0 {
+                                st.ledger.workers += 1;
+                            } else {
+                                st.ledger.reconnects += 1;
+                                eprintln!(
+                                    "fabric: worker {worker:?} reconnected (session {session})"
+                                );
+                            }
                         }
                         if st.done {
                             Msg::Done
@@ -536,6 +615,50 @@ pub fn run_campaign(
         &seeded_study
     };
 
+    // --- Phase 0: durable campaign metadata (crash recovery). Only a
+    // store-backed campaign is resumable — a scratch store dies with the
+    // process, so there is nothing to journal toward.
+    let persistent = scratch_store.is_none();
+    let mut resumed: Option<ResumePrior> = None;
+    if persistent {
+        let dir = store.dir().to_path_buf();
+        let recorded = recover::load_campaign(&dir).unwrap_or_else(|e| {
+            eprintln!("warning: {e}; ignoring recorded campaign metadata");
+            None
+        });
+        let here = spec.fingerprint();
+        match recorded {
+            Some((fp, recorded_spec)) => {
+                // The recorded spec must re-fingerprint to its recorded
+                // value (else the schema changed underneath the store)
+                // AND match the flags on this command line.
+                let matches = fp == here && recorded_spec.fingerprint() == here;
+                if !matches && cfg.resume {
+                    return Err(format!(
+                        "--resume refused: store {} was journaled by campaign {fp:016x}, \
+                         but these flags describe campaign {here:016x}; rerun without \
+                         --resume to repurpose the store",
+                        dir.display()
+                    ));
+                }
+            }
+            None if cfg.resume => {
+                eprintln!(
+                    "fabric: no {} in {}; resuming on cache contents alone",
+                    recover::CAMPAIGN_FILE,
+                    dir.display()
+                );
+            }
+            None => {}
+        }
+        if let Err(e) = recover::save_campaign(&dir, spec) {
+            eprintln!("warning: {e}; this campaign will not be resumable");
+        }
+        if cfg.resume {
+            resumed = Some(recover::load_ledger_log(&dir));
+        }
+    }
+
     // --- Phase 1: solo pre-seeding (sequential, excluded from pair timing).
     // Every pair cell divides by its foreground's solo time; computing the
     // solos once here and shipping the records in `hello` means workers
@@ -619,6 +742,7 @@ pub fn run_campaign(
         cfg: cfg.clone(),
         next_conn: AtomicU64::new(1),
         merge_failed: Mutex::new(None),
+        fault_reports: Mutex::new(HashMap::new()),
     });
 
     let mut worker_dirs: Vec<PathBuf> = Vec::new();
@@ -662,10 +786,19 @@ pub fn run_campaign(
     drop(st);
     let merge_failed = coord.merge_failed.lock().unwrap_or_else(|p| p.into_inner()).is_some();
     let store_degraded = study.store_degraded() || merge_failed;
+    if persistent {
+        // Journal this run's ledger for whoever resumes or audits the
+        // campaign next. The run index is informational only.
+        let dir = store.dir().to_path_buf();
+        let run = recover::load_ledger_log(&dir).runs + 1;
+        if let Err(e) = recover::append_ledger(&dir, run, &ledger) {
+            eprintln!("warning: {e}");
+        }
+    }
     if let Some(dir) = scratch_store {
         let _ = std::fs::remove_dir_all(&dir);
     }
-    Ok(FabricOutcome { heatmap, failures, ledger, pair_wall, solo_wall, store_degraded })
+    Ok(FabricOutcome { heatmap, failures, ledger, pair_wall, solo_wall, store_degraded, resumed })
 }
 
 /// Phase 3: run the listener + local workers until every cell settles.

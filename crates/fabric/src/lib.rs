@@ -26,12 +26,19 @@
 //! * [`coord`] — the coordinator: partitions cells into leases, spawns
 //!   local workers, accepts remote ones over TCP, re-issues expired
 //!   leases, and merges results + journals into the canonical store.
-//! * [`worker`] — the worker loop: connect, claim, compute each leased
-//!   cell under panic isolation, stream journal records back.
+//! * [`worker`] — the worker loop: connect (with retry), claim, compute
+//!   each leased cell under panic isolation, stream journal records back,
+//!   and reconnect through connection loss.
+//! * [`recover`] — coordinator crash recovery: durable campaign metadata
+//!   and a per-run ledger log beside the store, consumed by `--resume`.
+//! * [`chaos`] — wire-level fault injection ([`WirePlan`], armed from
+//!   `COCHAR_CHAOS_WIRE`) that the resilience tests drive.
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod coord;
+pub mod recover;
 pub mod wire;
 pub mod worker;
 
@@ -42,7 +49,9 @@ use cochar_machine::{MachineConfig, Msr, StableHasher};
 use cochar_store::{RunStore, SCHEMA_VERSION};
 use cochar_workloads::{Registry, Scale};
 
+pub use chaos::{WireFault, WirePlan};
 pub use coord::{run_campaign, FabricConfig, FabricLedger, FabricOutcome, WorkerCmd};
+pub use recover::ResumePrior;
 pub use worker::{run_worker, WorkerChaos, WorkerConfig, WorkerSummary};
 
 /// Everything a worker needs to rebuild the coordinator's [`Study`] from

@@ -1,13 +1,15 @@
 //! The fabric wire protocol.
 //!
-//! Frames are length-prefixed JSON: a 4-byte big-endian payload length
-//! followed by one UTF-8 JSON document (the store's deterministic
-//! [`Json`] codec — the workspace carries no serde runtime). The message
-//! grammar, coordinator (C) vs worker (W):
+//! Frames are length-prefixed, checksummed JSON: a 4-byte big-endian
+//! payload length, an 8-byte big-endian payload checksum
+//! ([`cochar_machine::StableHasher`] over the payload bytes), then one
+//! UTF-8 JSON document (the store's deterministic [`Json`] codec — the
+//! workspace carries no serde runtime). The message grammar, coordinator
+//! (C) vs worker (W):
 //!
 //! ```text
 //! C→W  hello     {t, fp, lease_ms, campaign{machine,work,threads,trials,seed,msr,names}, solo:[line...]}
-//! W→C  claim     {t, fp, worker}
+//! W→C  claim     {t, fp, worker, session, faults}
 //! C→W  lease     {t, id, deadline_ms, cells:[{fg,bg,attempt,issue}...]}
 //!      | wait    {t, ms}
 //!      | done    {t}
@@ -16,6 +18,10 @@
 //! W→C  heartbeat {t, lease}        (any time while a lease is held)
 //! ```
 //!
+//! `session` counts reconnects (0 = a worker's first connection) and
+//! `faults` is the worker's cumulative count of wire protocol errors it
+//! has observed, so the coordinator's ledger sees both sides of the link.
+//!
 //! `solo` and `records` carry journal lines exactly as
 //! [`cochar_store::journal::render_record`] produced them — checksummed
 //! and canonical, so the receiving side re-verifies every record with
@@ -23,10 +29,28 @@
 //! values travel as shortest-round-trip floats ([`Json::f64`]), which
 //! reproduce the exact `f64`, so a merged heatmap is bit-identical to a
 //! locally-computed one.
+//!
+//! # Error classification
+//!
+//! Reading a frame can fail two ways, and recovery differs, so
+//! [`FrameReader::next_frame`] returns a typed [`WireError`]:
+//!
+//! * [`WireError::Protocol`] — the bytes are not a trustworthy frame:
+//!   oversized length, checksum mismatch (corruption or desync), non-UTF-8
+//!   payload, malformed JSON, an unknown message, or a connection closed
+//!   mid-frame. The peer's *state* may be fine but this link is not; the
+//!   recovery is to drop the connection and let the lease machinery /
+//!   worker reconnect handle it. The frame checksum is what turns a
+//!   flipped bit anywhere in the stream into this error instead of a
+//!   silent desync or a panic deep inside the JSON parser.
+//! * [`WireError::Io`] — the transport itself failed (socket error).
+//!   Same recovery, but counted differently: an I/O error is the
+//!   network's fault, a protocol error is evidence of corruption.
 
 use std::io::{Read, Write};
 
 use cochar_colocation::CellStatus;
+use cochar_machine::StableHasher;
 use cochar_store::json::Json;
 
 use crate::CampaignSpec;
@@ -34,6 +58,31 @@ use crate::CampaignSpec;
 /// Upper bound on one frame's payload (a lease or result is a few KB; a
 /// hello shipping a big solo seed set can reach megabytes).
 pub const MAX_FRAME: usize = 64 << 20;
+
+/// Frame header size: 4-byte length + 8-byte checksum.
+pub const FRAME_HEADER: usize = 12;
+
+/// A typed wire failure (see the module docs for the classification).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The transport failed (socket-level read error).
+    Io(String),
+    /// The byte stream is not a valid frame sequence: corruption, desync,
+    /// truncation, or a malformed message. Recoverable by dropping the
+    /// connection, never by continuing to parse.
+    Protocol(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "wire io: {e}"),
+            WireError::Protocol(e) => write!(f, "wire protocol: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
 
 /// One cell inside a lease: heatmap coordinates into the campaign's name
 /// list, the supervisor retry attempt, and the delivery issue count
@@ -89,6 +138,12 @@ pub enum Msg {
         fp: u64,
         /// Worker label (diagnostics only).
         worker: String,
+        /// Reconnect count: 0 on a worker's first connection, bumped on
+        /// each re-connection to the same campaign.
+        session: u32,
+        /// Cumulative wire protocol errors this worker has observed,
+        /// folded into the coordinator's ledger.
+        faults: u64,
     },
     /// A batch of cells with a deadline.
     Lease {
@@ -177,7 +232,9 @@ impl WireCell {
     }
 }
 
-fn campaign_to_json(c: &CampaignSpec) -> Json {
+/// Renders a campaign spec for the wire and for `campaign.json`
+/// (crash-recovery metadata beside the store).
+pub(crate) fn campaign_to_json(c: &CampaignSpec) -> Json {
     obj(vec![
         ("machine", Json::str(&c.machine)),
         ("work", Json::f64(c.work)),
@@ -189,7 +246,8 @@ fn campaign_to_json(c: &CampaignSpec) -> Json {
     ])
 }
 
-fn campaign_from_json(v: &Json) -> Result<CampaignSpec, String> {
+/// Parses a campaign spec (wire hello, `campaign.json`).
+pub(crate) fn campaign_from_json(v: &Json) -> Result<CampaignSpec, String> {
     let s = |k: &str| -> Result<String, String> {
         v.field(k)
             .and_then(|f| f.as_str().map(str::to_string))
@@ -244,10 +302,12 @@ impl Msg {
                 ("campaign", campaign_to_json(campaign)),
                 ("solo", lines_to_json(solo)),
             ]),
-            Msg::Claim { fp, worker } => obj(vec![
+            Msg::Claim { fp, worker, session, faults } => obj(vec![
                 ("t", Json::str("claim")),
                 ("fp", hex16(*fp)),
                 ("worker", Json::str(worker)),
+                ("session", Json::u64(u64::from(*session))),
+                ("faults", Json::u64(*faults)),
             ]),
             Msg::Lease { id, deadline_ms, cells } => obj(vec![
                 ("t", Json::str("lease")),
@@ -306,6 +366,8 @@ impl Msg {
                     .field("worker")
                     .and_then(|w| w.as_str().map(str::to_string))
                     .map_err(|e| e.to_string())?,
+                session: u("session")? as u32,
+                faults: u("faults")?,
             }),
             "lease" => Ok(Msg::Lease {
                 id: u("id")?,
@@ -354,20 +416,31 @@ impl Msg {
     }
 }
 
-/// Writes one frame (length prefix + JSON payload) and flushes.
+/// The per-frame checksum: [`StableHasher`] over the payload bytes.
+fn frame_checksum(payload: &[u8]) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_bytes(payload);
+    h.finish()
+}
+
+/// Writes one frame (length + checksum + JSON payload) and flushes.
+///
+/// The single trailing flush doubles as the frame delimiter for
+/// [`crate::chaos::ChaosStream`], which injects faults frame-at-a-time.
 pub fn write_frame(w: &mut impl Write, msg: &Msg) -> std::io::Result<()> {
     let payload = msg.to_json().render();
     let bytes = payload.as_bytes();
     debug_assert!(bytes.len() <= MAX_FRAME);
     w.write_all(&(bytes.len() as u32).to_be_bytes())?;
+    w.write_all(&frame_checksum(bytes).to_be_bytes())?;
     w.write_all(bytes)?;
     w.flush()
 }
 
-/// What [`FrameReader::next`] yielded.
+/// What [`FrameReader::next_frame`] yielded.
 #[derive(Debug)]
 pub enum Frame {
-    /// A complete message.
+    /// A complete, checksum-verified message.
     Msg(Msg),
     /// The peer closed the connection cleanly (no partial frame pending).
     Eof,
@@ -380,7 +453,10 @@ pub enum Frame {
 /// Incremental frame parser over a (possibly timeout-equipped) stream.
 ///
 /// Reads are buffered, so a read timeout can never desynchronize the
-/// framing: partially received frames accumulate until complete.
+/// framing: partially received frames accumulate until complete. Every
+/// frame is checksum-verified before its JSON is parsed, so corrupted or
+/// desynced bytes surface as [`WireError::Protocol`], never as a bogus
+/// message or a panic.
 pub struct FrameReader<R: Read> {
     src: R,
     buf: Vec<u8>,
@@ -394,7 +470,7 @@ impl<R: Read> FrameReader<R> {
 
     /// Blocks until a full frame arrives, the peer closes, or one read
     /// times out (when the underlying stream has a read timeout set).
-    pub fn next_frame(&mut self) -> Result<Frame, String> {
+    pub fn next_frame(&mut self) -> Result<Frame, WireError> {
         loop {
             if let Some(msg) = self.take_frame()? {
                 return Ok(Frame::Msg(msg));
@@ -405,7 +481,7 @@ impl<R: Read> FrameReader<R> {
                     return if self.buf.is_empty() {
                         Ok(Frame::Eof)
                     } else {
-                        Err("connection closed mid-frame".into())
+                        Err(WireError::Protocol("connection closed mid-frame".into()))
                     };
                 }
                 Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
@@ -418,27 +494,45 @@ impl<R: Read> FrameReader<R> {
                     return Ok(Frame::Idle);
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-                Err(e) => return Err(format!("read: {e}")),
+                Err(e) => return Err(WireError::Io(format!("read: {e}"))),
             }
         }
     }
 
-    fn take_frame(&mut self) -> Result<Option<Msg>, String> {
-        if self.buf.len() < 4 {
+    fn take_frame(&mut self) -> Result<Option<Msg>, WireError> {
+        let bad = |msg: String| Err(WireError::Protocol(msg));
+        if self.buf.len() < FRAME_HEADER {
             return Ok(None);
         }
         let len = u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
         if len > MAX_FRAME {
-            return Err(format!("oversized frame ({len} bytes)"));
+            return bad(format!("oversized frame ({len} bytes)"));
         }
-        if self.buf.len() < 4 + len {
+        let sum = u64::from_be_bytes(self.buf[4..12].try_into().expect("8 checksum bytes"));
+        if self.buf.len() < FRAME_HEADER + len {
             return Ok(None);
         }
-        let payload = std::str::from_utf8(&self.buf[4..4 + len])
-            .map_err(|_| "non-utf8 frame".to_string())?;
-        let doc = cochar_store::json::Json::parse(payload).map_err(|e| e.to_string())?;
-        let msg = Msg::from_json(&doc)?;
-        self.buf.drain(..4 + len);
+        let body = &self.buf[FRAME_HEADER..FRAME_HEADER + len];
+        let computed = frame_checksum(body);
+        if computed != sum {
+            return bad(format!(
+                "frame checksum mismatch (sent {sum:016x}, computed {computed:016x}) — \
+                 corrupted or desynced stream"
+            ));
+        }
+        let payload = match std::str::from_utf8(body) {
+            Ok(p) => p,
+            Err(_) => return bad("non-utf8 frame".into()),
+        };
+        let doc = match cochar_store::json::Json::parse(payload) {
+            Ok(d) => d,
+            Err(e) => return bad(e.to_string()),
+        };
+        let msg = match Msg::from_json(&doc) {
+            Ok(m) => m,
+            Err(e) => return bad(e),
+        };
+        self.buf.drain(..FRAME_HEADER + len);
         Ok(Some(msg))
     }
 }
@@ -477,7 +571,7 @@ mod tests {
             campaign: spec(),
             solo: vec!["{\"k\":\"x\"}".into()],
         });
-        round_trip(Msg::Claim { fp: 1, worker: "w0".into() });
+        round_trip(Msg::Claim { fp: 1, worker: "w0".into(), session: 3, faults: 2 });
         round_trip(Msg::Lease { id: 9, deadline_ms: 30_000, cells: vec![cell] });
         round_trip(Msg::Wait { ms: 200 });
         round_trip(Msg::Done);
@@ -539,19 +633,52 @@ mod tests {
     }
 
     #[test]
-    fn mid_frame_eof_is_an_error() {
+    fn mid_frame_eof_is_a_protocol_error() {
         let mut bytes = Vec::new();
         write_frame(&mut bytes, &Msg::Done).unwrap();
         bytes.truncate(bytes.len() - 1);
         let mut r = FrameReader::new(&bytes[..]);
-        assert!(r.next_frame().is_err());
+        match r.next_frame() {
+            Err(WireError::Protocol(msg)) => assert!(msg.contains("mid-frame"), "{msg}"),
+            other => panic!("expected protocol error, got {other:?}"),
+        }
     }
 
     #[test]
     fn oversized_frame_is_refused() {
         let mut bytes = ((MAX_FRAME + 1) as u32).to_be_bytes().to_vec();
-        bytes.extend_from_slice(b"xxxx");
+        bytes.extend_from_slice(&[0u8; 12]);
         let mut r = FrameReader::new(&bytes[..]);
-        assert!(r.next_frame().unwrap_err().contains("oversized"));
+        match r.next_frame() {
+            Err(WireError::Protocol(msg)) => assert!(msg.contains("oversized"), "{msg}"),
+            other => panic!("expected protocol error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flipped_bit_is_a_checksum_mismatch() {
+        let mut bytes = Vec::new();
+        write_frame(&mut bytes, &Msg::Wait { ms: 7 }).unwrap();
+        // Flip one bit inside the payload; the frame must be refused as a
+        // protocol error, not parsed into a different message.
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x10;
+        let mut r = FrameReader::new(&bytes[..]);
+        match r.next_frame() {
+            Err(WireError::Protocol(msg)) => assert!(msg.contains("checksum"), "{msg}"),
+            other => panic!("expected checksum mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn messages_after_a_clean_frame_still_parse() {
+        let mut bytes = Vec::new();
+        write_frame(&mut bytes, &Msg::Ack).unwrap();
+        let clean = bytes.len();
+        write_frame(&mut bytes, &Msg::Wait { ms: 3 }).unwrap();
+        bytes[clean + FRAME_HEADER] ^= 0x01; // corrupt only the second frame
+        let mut r = FrameReader::new(&bytes[..]);
+        assert!(matches!(r.next_frame().unwrap(), Frame::Msg(Msg::Ack)));
+        assert!(matches!(r.next_frame(), Err(WireError::Protocol(_))));
     }
 }

@@ -9,7 +9,7 @@ use std::time::Duration;
 
 use cochar_colocation::{Heatmap, SweepPolicy};
 use cochar_fabric::{
-    run_campaign, run_worker, CampaignSpec, FabricConfig, WorkerChaos, WorkerConfig,
+    run_campaign, run_worker, CampaignSpec, FabricConfig, WirePlan, WorkerChaos, WorkerConfig,
 };
 
 const NAMES: [&str; 3] = ["blackscholes", "swaptions", "stream"];
@@ -177,16 +177,91 @@ fn store_backed_campaign_is_cached_on_rerun() {
     assert!(first.failures.is_empty());
     assert!(first.ledger.records_merged > 0, "worker results land in the store");
 
-    // Second run over the same store: every cell resolves from cache, no
-    // listener, no workers — and the CSV is byte-identical.
-    let cfg2 = FabricConfig::default();
+    // Second run over the same store, now with --resume: every cell
+    // resolves from cache, no listener, no workers — the CSV is
+    // byte-identical, and the ledger log shows the prior run.
+    let cfg2 = FabricConfig { resume: true, ..FabricConfig::default() };
     let second = run_campaign(&study, &spec, &cfg2, |_, _| {}).expect("cached rerun");
     assert_eq!(second.ledger.cells_cached as usize, NAMES.len() * NAMES.len());
     assert_eq!(second.ledger.leases_issued, 0);
     assert_eq!(first.heatmap.to_csv(), second.heatmap.to_csv());
+    let prior = second.resumed.expect("resume reads the ledger log");
+    assert!(prior.runs >= 1, "prior: {prior:?}");
+    assert_eq!(prior.ledger.records_merged, first.ledger.records_merged);
 
     drop(study);
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_refuses_a_different_campaign() {
+    let dir = std::env::temp_dir()
+        .join(format!("cochar-fabric-test-refuse-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    // The store was journaled for the canonical tiny campaign...
+    std::fs::create_dir_all(&dir).unwrap();
+    cochar_fabric::recover::save_campaign(&dir, &tiny_spec()).expect("journal campaign");
+    // ...but the resuming command line describes a different one.
+    let mut other = tiny_spec();
+    other.seed = 99;
+    let store = cochar_store::RunStore::open(&dir).expect("store opens");
+    let study = other.build_study(Some(store)).expect("spec builds");
+    let cfg = FabricConfig { resume: true, ..FabricConfig::default() };
+    let err = match run_campaign(&study, &other, &cfg, |_, _| {}) {
+        Err(e) => e,
+        Ok(_) => panic!("mismatched --resume must refuse to run"),
+    };
+    assert!(err.contains("--resume refused"), "unexpected error: {err}");
+
+    drop(study);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn duplicated_result_is_dismissed_exactly_once() {
+    let spec = tiny_spec();
+    // Outbound frame 1 is the worker's first result; `dup@1` sends it
+    // twice. The coordinator must settle the cell once, dismiss the
+    // replay, and the CSV must be unaffected.
+    let outcome = run_distributed(&spec, FabricConfig::default(), 1, |_, addr| {
+        let mut c = WorkerConfig::new(addr);
+        c.chaos_wire = Some(WirePlan::parse("dup@1").unwrap());
+        c
+    });
+    assert!(outcome.failures.is_empty(), "failures: {:?}", outcome.failures);
+    assert_eq!(outcome.ledger.results_duplicate, 1, "ledger: {:?}", outcome.ledger);
+    assert_eq!(outcome.heatmap.to_csv(), reference_csv(&spec));
+}
+
+#[test]
+fn corrupted_frame_forces_reconnect_and_resend() {
+    let spec = tiny_spec();
+    // Bit 40 lands in the frame checksum, so the coordinator sees a
+    // checksum mismatch on the worker's first result, drops the
+    // connection, and the worker must reconnect and resend the
+    // unacknowledged result.
+    let outcome = run_distributed(&spec, FabricConfig::default(), 1, |_, addr| {
+        let mut c = WorkerConfig::new(addr);
+        c.chaos_wire = Some(WirePlan::parse("flip@1:40").unwrap());
+        c
+    });
+    assert!(outcome.failures.is_empty(), "failures: {:?}", outcome.failures);
+    assert!(outcome.ledger.wire_faults >= 1, "ledger: {:?}", outcome.ledger);
+    assert!(outcome.ledger.reconnects >= 1, "ledger: {:?}", outcome.ledger);
+    assert_eq!(outcome.heatmap.to_csv(), reference_csv(&spec));
+}
+
+#[test]
+fn injected_close_is_survived_by_reconnect() {
+    let spec = tiny_spec();
+    let outcome = run_distributed(&spec, FabricConfig::default(), 1, |_, addr| {
+        let mut c = WorkerConfig::new(addr);
+        c.chaos_wire = Some(WirePlan::parse("close@2").unwrap());
+        c
+    });
+    assert!(outcome.failures.is_empty(), "failures: {:?}", outcome.failures);
+    assert!(outcome.ledger.reconnects >= 1, "ledger: {:?}", outcome.ledger);
+    assert_eq!(outcome.heatmap.to_csv(), reference_csv(&spec));
 }
 
 #[test]
@@ -214,8 +289,9 @@ fn mismatched_fingerprint_claim_is_dismissed() {
                 other => panic!("expected hello, got {other:?}"),
             }
         };
-        write_frame(&mut writer, &Msg::Claim { fp: fp ^ 1, worker: "impostor".into() })
-            .expect("claim");
+        let claim =
+            Msg::Claim { fp: fp ^ 1, worker: "impostor".into(), session: 0, faults: 0 };
+        write_frame(&mut writer, &claim).expect("claim");
         let reply = loop {
             match reader.next_frame().expect("reply frame") {
                 Frame::Msg(m) => break m,

@@ -39,6 +39,7 @@ pub mod faults;
 pub mod json;
 pub mod journal;
 pub mod lock;
+pub mod sidecar;
 pub mod store;
 
 pub use faults::{ChaosFile, Fault, FaultPlan};

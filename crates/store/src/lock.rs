@@ -1,19 +1,28 @@
 //! Advisory multi-writer protection for a store directory.
 //!
 //! A [`StoreLock`] is a `journal.lock` file created with `create_new`
-//! next to the journal, holding the owner's pid. Opening a store acquires
-//! it; a second opener — most dangerously a concurrent `store gc`, whose
-//! atomic rewrite would discard records another process is appending —
-//! gets [`StoreError::Locked`] with the owner's pid instead of silently
+//! next to the journal, holding the owner's pid and (on Linux) the pid's
+//! process start time. Opening a store acquires it; a second opener —
+//! most dangerously a concurrent `store gc`, whose atomic rewrite would
+//! discard records another process is appending — gets
+//! [`StoreError::Locked`] with the owner's pid instead of silently
 //! corrupting the shared journal.
 //!
 //! The lock is *advisory within this suite*: every writer goes through
 //! [`crate::RunStore`], which acquires it, but nothing stops an external
-//! process from editing the file. Crash recovery is automatic: a lock
-//! whose pid is no longer alive (checked via `/proc/<pid>` on Linux) is
-//! stale and is broken on acquire. On non-Linux platforms liveness cannot
-//! be probed cheaply, so an existing lock is always honored — err on the
-//! side of refusing, never on the side of two writers.
+//! process from editing the file. Crash recovery is automatic — the
+//! failure this matters most for is a SIGKILLed sweep coordinator, whose
+//! lock file survives it and must not block `--resume`. A lock is stale
+//! and broken on acquire when its owner is provably dead:
+//!
+//! * the pid is gone (`/proc/<pid>` on Linux), or
+//! * the pid exists but its start time (field 22 of `/proc/<pid>/stat`)
+//!   differs from the recorded one — the pid was recycled by an
+//!   unrelated process, so the original owner is dead.
+//!
+//! On non-Linux platforms liveness cannot be probed cheaply, so an
+//! existing lock is always honored — err on the side of refusing, never
+//! on the side of two writers.
 
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
@@ -39,18 +48,27 @@ impl StoreLock {
         for _ in 0..3 {
             match std::fs::OpenOptions::new().write(true).create_new(true).open(&path) {
                 Ok(mut f) => {
-                    // Losing the pid write is harmless: an empty lock
+                    // Losing the stamp write is harmless: an empty lock
                     // file reads as unparseable, which is treated as
                     // stale on the next acquire attempt after we drop it.
-                    let _ = writeln!(f, "{}", std::process::id());
+                    let pid = std::process::id();
+                    match proc_starttime(pid) {
+                        Some(start) => {
+                            let _ = writeln!(f, "{pid} {start}");
+                        }
+                        None => {
+                            let _ = writeln!(f, "{pid}");
+                        }
+                    }
                     return Ok(StoreLock { path });
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
                     match read_owner(&path) {
-                        Some(pid) if pid_alive(pid) => {
+                        Some(owner) if owner_alive(&owner) => {
                             return Err(StoreError::Locked(format!(
-                                "{} is held by pid {pid}",
-                                path.display()
+                                "{} is held by pid {}",
+                                path.display(),
+                                owner.pid
                             )));
                         }
                         Some(_) | None => {
@@ -82,22 +100,60 @@ impl Drop for StoreLock {
     }
 }
 
-fn read_owner(path: &Path) -> Option<u32> {
+/// The recorded owner of a lock file: pid, plus the owning process's
+/// start time when it could be recorded (Linux).
+struct Owner {
+    pid: u32,
+    starttime: Option<u64>,
+}
+
+fn read_owner(path: &Path) -> Option<Owner> {
     let mut text = String::new();
     std::fs::File::open(path).ok()?.read_to_string(&mut text).ok()?;
-    text.trim().parse().ok()
+    let mut fields = text.split_whitespace();
+    let pid: u32 = fields.next()?.parse().ok()?;
+    let starttime = fields.next().and_then(|s| s.parse().ok());
+    Some(Owner { pid, starttime })
 }
 
 #[cfg(target_os = "linux")]
-fn pid_alive(pid: u32) -> bool {
-    Path::new(&format!("/proc/{pid}")).exists()
+fn owner_alive(owner: &Owner) -> bool {
+    match proc_starttime(owner.pid) {
+        None => false, // pid is gone
+        Some(live_start) => match owner.starttime {
+            // Same pid, different start time: the pid was recycled, the
+            // recorded owner is dead.
+            Some(recorded) => recorded == live_start,
+            // Legacy pid-only stamp: existence is the best we can do.
+            None => true,
+        },
+    }
 }
 
 #[cfg(not(target_os = "linux"))]
-fn pid_alive(_pid: u32) -> bool {
+fn owner_alive(_owner: &Owner) -> bool {
     // No cheap liveness probe: treat every recorded owner as alive and
     // refuse, which is the safe direction for an advisory lock.
     true
+}
+
+/// The process start time of `pid` (clock ticks since boot): field 22 of
+/// `/proc/<pid>/stat`, which together with the pid uniquely identifies a
+/// process incarnation. `None` when the pid does not exist (or off
+/// Linux, where the stamp degrades to pid-only).
+#[cfg(target_os = "linux")]
+fn proc_starttime(pid: u32) -> Option<u64> {
+    let stat = std::fs::read_to_string(format!("/proc/{pid}/stat")).ok()?;
+    // The comm field (2) is parenthesized and may itself contain spaces
+    // or parens; everything after the *last* ')' is space-separated,
+    // starting at field 3. Start time is field 22, so index 19 there.
+    let tail = &stat[stat.rfind(')')? + 1..];
+    tail.split_whitespace().nth(19)?.parse().ok()
+}
+
+#[cfg(not(target_os = "linux"))]
+fn proc_starttime(_pid: u32) -> Option<u64> {
+    None
 }
 
 #[cfg(test)]
@@ -135,6 +191,32 @@ mod tests {
         // default and never exceeds 2^31; u32::MAX is out of range.
         std::fs::write(dir.join(LOCK_FILE), format!("{}\n", u32::MAX)).unwrap();
         let _lock = StoreLock::acquire(&dir).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn recycled_pid_lock_is_broken() {
+        let dir = tmpdir("recycled");
+        // A live pid (our own) with an impossible start time models a
+        // recycled pid: the recorded owner must read as dead.
+        std::fs::write(
+            dir.join(LOCK_FILE),
+            format!("{} {}\n", std::process::id(), u64::MAX),
+        )
+        .unwrap();
+        let _lock = StoreLock::acquire(&dir).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn live_pid_with_matching_starttime_is_honored() {
+        let dir = tmpdir("live");
+        let pid = std::process::id();
+        let start = proc_starttime(pid).expect("own starttime readable");
+        std::fs::write(dir.join(LOCK_FILE), format!("{pid} {start}\n")).unwrap();
+        assert!(matches!(StoreLock::acquire(&dir), Err(StoreError::Locked(_))));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

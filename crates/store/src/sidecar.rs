@@ -1,0 +1,180 @@
+//! Checksummed sidecar files beside the journal.
+//!
+//! The fabric journals campaign metadata (`campaign.json`) and a ledger
+//! log (`fabric.ledger.jsonl`) next to the run journal so a SIGKILLed
+//! coordinator can be resumed. Those files share the journal's crash
+//! model — append-only lines, each carrying its own checksum, torn tails
+//! tolerated — but not its record codec, so the line framing lives here:
+//!
+//! ```text
+//! {"c":"<16-hex checksum>","p":<payload json>}
+//! ```
+//!
+//! The checksum covers the canonical rendering of `p` (the store's own
+//! deterministic [`Json`] codec), so a line that was cut short by a crash
+//! or flipped on disk parses as corrupt and is dropped, never trusted.
+//! [`write_atomic`] is the complement for single-document files: write to
+//! a temp file, fsync, rename — a crash leaves either the old document or
+//! the new one, never a torn hybrid.
+
+use std::io::{Read, Write};
+use std::path::Path;
+
+use cochar_machine::StableHasher;
+
+use crate::json::Json;
+use crate::StoreError;
+
+fn checksum(body: &str) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_str(body);
+    h.finish()
+}
+
+/// Renders one sidecar line (no trailing newline) for `payload`.
+pub fn render_line(payload: &Json) -> String {
+    let body = payload.render();
+    format!("{{\"c\":\"{:016x}\",\"p\":{}}}", checksum(&body), body)
+}
+
+/// Parses and verifies one sidecar line.
+pub fn parse_line(line: &str) -> Result<Json, StoreError> {
+    let doc = Json::parse(line).map_err(|e| StoreError::Corrupt(e.to_string()))?;
+    let want = doc
+        .field("c")
+        .and_then(Json::as_str)
+        .map_err(|e| StoreError::Corrupt(e.to_string()))
+        .and_then(|s| {
+            u64::from_str_radix(s, 16)
+                .map_err(|_| StoreError::Corrupt(format!("bad sidecar checksum {s:?}")))
+        })?;
+    let payload = doc.field("p").map_err(|e| StoreError::Corrupt(e.to_string()))?;
+    let got = checksum(&payload.render());
+    if got != want {
+        return Err(StoreError::Corrupt(format!(
+            "sidecar checksum mismatch (recorded {want:016x}, computed {got:016x})"
+        )));
+    }
+    Ok(payload.clone())
+}
+
+/// Appends one checksummed line to `path` (created if absent) and
+/// flushes it.
+pub fn append_line(path: &Path, payload: &Json) -> Result<(), StoreError> {
+    let mut f = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+    f.write_all(render_line(payload).as_bytes())?;
+    f.write_all(b"\n")?;
+    f.flush()?;
+    f.sync_data()?;
+    Ok(())
+}
+
+/// Reads every verifiable line from `path`.
+///
+/// Returns the parsed payloads plus the number of dropped lines (torn
+/// tail, interior corruption). A missing file is an empty log, not an
+/// error — that is what a first run looks like.
+pub fn read_lines(path: &Path) -> Result<(Vec<Json>, usize), StoreError> {
+    let mut text = String::new();
+    match std::fs::File::open(path) {
+        Ok(mut f) => {
+            f.read_to_string(&mut text)?;
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok((Vec::new(), 0)),
+        Err(e) => return Err(e.into()),
+    }
+    let mut out = Vec::new();
+    let mut dropped = 0usize;
+    let terminated = text.ends_with('\n');
+    let lines: Vec<&str> = text.lines().collect();
+    for (i, line) in lines.iter().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        // An unterminated final line is a torn append: drop it silently.
+        let torn_tail = !terminated && i + 1 == lines.len();
+        match parse_line(line) {
+            Ok(payload) if !torn_tail => out.push(payload),
+            _ => dropped += 1,
+        }
+    }
+    Ok((out, dropped))
+}
+
+/// Atomically replaces `path` with `contents` (temp file + rename).
+pub fn write_atomic(path: &Path, contents: &str) -> Result<(), StoreError> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(contents.as_bytes())?;
+        f.sync_data()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmpfile(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("cochar-sidecar-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("log.jsonl")
+    }
+
+    fn payload(n: u64) -> Json {
+        Json::Obj(vec![("n".into(), Json::u64(n))])
+    }
+
+    #[test]
+    fn lines_round_trip() {
+        let p = payload(7);
+        assert_eq!(parse_line(&render_line(&p)).unwrap(), p);
+    }
+
+    #[test]
+    fn flipped_line_is_corrupt() {
+        let line = render_line(&payload(7));
+        let bad = line.replace("\"n\":7", "\"n\":8");
+        assert!(matches!(parse_line(&bad), Err(StoreError::Corrupt(_))));
+    }
+
+    #[test]
+    fn torn_tail_and_corruption_are_dropped() {
+        let path = tmpfile("torn");
+        append_line(&path, &payload(1)).unwrap();
+        append_line(&path, &payload(2)).unwrap();
+        // Simulate a crash mid-append: a third line cut short.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        let third = render_line(&payload(3));
+        text.push_str(&third[..third.len() / 2]);
+        std::fs::write(&path, &text).unwrap();
+        let (lines, dropped) = read_lines(&path).unwrap();
+        assert_eq!(lines, vec![payload(1), payload(2)]);
+        assert_eq!(dropped, 1);
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn missing_file_is_empty() {
+        let path = tmpfile("absent");
+        let (lines, dropped) = read_lines(&path).unwrap();
+        assert!(lines.is_empty());
+        assert_eq!(dropped, 0);
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn atomic_write_replaces_whole_document() {
+        let path = tmpfile("atomic");
+        write_atomic(&path, "first").unwrap();
+        write_atomic(&path, "second").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "second");
+        assert!(!path.with_extension("tmp").exists());
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+}
