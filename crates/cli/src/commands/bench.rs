@@ -20,9 +20,12 @@
 //!   trajectory file, recording the PR-over-PR perf history;
 //! * `--check` (the default when the file exists) measures and compares
 //!   against the **last** pinned entry: deterministic fields must match
-//!   exactly, and pair cells/sec must not regress by more than
-//!   `--tolerance` (default 0.10). The file is never rewritten, so
-//!   reruns leave it byte-identical.
+//!   exactly, and neither pair nor solo cells/sec may regress by more
+//!   than `--tolerance` (default 0.10). Both phases gate: a change that
+//!   speeds the contended sweep by slowing every solo run (or vice
+//!   versa) is a trade-off to make deliberately via `--pin`, not an
+//!   accident to slip through. The file is never rewritten, so reruns
+//!   leave it byte-identical.
 //!
 //! The run store is deliberately rejected here: cached runs would
 //! measure the journal, not the engine.
@@ -159,6 +162,7 @@ fn measure(opts: &Opts, reps: u32) -> Result<Measured, String> {
 
         let mut hasher = StableHasher::new();
         let mut solo_sim_cycles = 0u64;
+        cochar_machine::engine_stats_reset();
         let t0 = Instant::now();
         for name in SOLO_APPS {
             let solo = study.solo(name);
@@ -166,8 +170,15 @@ fn measure(opts: &Opts, reps: u32) -> Result<Measured, String> {
             hasher.write_str(&encode_outcome(&solo.outcome).render());
         }
         let solo_wall_s = t0.elapsed().as_secs_f64();
+        // Phase shares ride along when COCHAR_ENGINE_STATS=1 (one line
+        // per phase per rep); timer overhead inflates the wall numbers,
+        // so stats-enabled runs are for steering, never for gating.
+        if let Some(report) = cochar_machine::engine_stats_report() {
+            eprintln!("  solo {report}");
+        }
 
         let mut pair_sim_cycles = 0u64;
+        cochar_machine::engine_stats_reset();
         let t0 = Instant::now();
         for fg in PAIR_APPS {
             for bg in PAIR_APPS {
@@ -177,6 +188,9 @@ fn measure(opts: &Opts, reps: u32) -> Result<Measured, String> {
             }
         }
         let pair_wall_s = t0.elapsed().as_secs_f64();
+        if let Some(report) = cochar_machine::engine_stats_report() {
+            eprintln!("  pair {report}");
+        }
 
         let rep = Measured {
             solo_wall_s,
@@ -352,23 +366,28 @@ fn check_against(
         eprintln!("bench: the engine's measurement semantics changed; re-pin deliberately");
         return Ok(ExitCode::from(4));
     }
-    let base = last
-        .field("pair_cells_per_sec")
-        .and_then(|v| v.as_f64())
-        .map_err(|e| e.to_string())?;
-    let fresh = m.pair_cells_per_sec();
-    let floor = base * (1.0 - tolerance);
-    if fresh < floor {
-        eprintln!(
-            "bench: REGRESSION vs entry {id:?}: {fresh:.3} pair cells/s < {floor:.3} \
-             (pinned {base:.3}, tolerance {:.0}%)",
-            tolerance * 100.0
-        );
-        return Ok(ExitCode::from(5));
+    // Both throughput phases gate within the same tolerance: pair (the
+    // sweep shape campaigns run) and solo (the shape signature collection
+    // runs). A regression in either is a failure even if the other holds.
+    let gates = [
+        ("pair", "pair_cells_per_sec", m.pair_cells_per_sec()),
+        ("solo", "solo_cells_per_sec", m.solo_cells_per_sec()),
+    ];
+    let mut summary = Vec::new();
+    for (phase, key, fresh) in gates {
+        let base = last.field(key).and_then(|v| v.as_f64()).map_err(|e| e.to_string())?;
+        let floor = base * (1.0 - tolerance);
+        if fresh < floor {
+            eprintln!(
+                "bench: REGRESSION vs entry {id:?}: {fresh:.3} {phase} cells/s < {floor:.3} \
+                 (pinned {base:.3}, tolerance {:.0}%)",
+                tolerance * 100.0
+            );
+            return Ok(ExitCode::from(5));
+        }
+        summary.push(format!("{fresh:.3} {phase} cells/s (pinned {base:.3}, floor {floor:.3})"));
     }
-    println!(
-        "bench: OK vs entry {id:?}: {fresh:.3} pair cells/s (pinned {base:.3}, floor {floor:.3})"
-    );
+    println!("bench: OK vs entry {id:?}: {}", summary.join(", "));
     Ok(ExitCode::SUCCESS)
 }
 

@@ -34,6 +34,18 @@ pub struct Evicted {
     pub line: u64,
     /// The victim held modified data and must be written back.
     pub dirty: bool,
+    /// Owner mask accumulated through the `*_owned` entry points while
+    /// the victim was resident (see [`owner_bit`]). Zero for caches that
+    /// never use owned operations.
+    pub owners: u32,
+}
+
+/// Bit a core contributes to a line's owner mask. Cores at or beyond the
+/// mask width share the top bit, which degrades the mask to *conservative*
+/// (extra sweeps, never missed ones) instead of wrong.
+#[inline]
+pub fn owner_bit(core: usize) -> u32 {
+    1u32 << core.min(31)
 }
 
 const INVALID: u64 = u64::MAX;
@@ -77,6 +89,12 @@ pub struct Cache {
     ways: usize,
     set_mask: u64,
     arr: Vec<Way>,
+    /// Per-slot owner masks, maintained only by the `*_owned` entry
+    /// points. The engine uses them on the (inclusive) LLC to record
+    /// which cores' private caches a line was ever filled into while this
+    /// LLC entry existed, so back-invalidation can skip cores that
+    /// provably never held the victim.
+    owners: Vec<u32>,
     /// Per-set hint: way index of the most recently touched line.
     mru: Vec<u32>,
     /// Count of valid lines, maintained by `insert`/`invalidate` so
@@ -102,6 +120,7 @@ impl Cache {
             ways,
             set_mask: sets - 1,
             arr: vec![EMPTY_WAY; n],
+            owners: vec![0; n],
             mru: vec![0; sets as usize],
             valid: 0,
             clock: 0,
@@ -159,6 +178,22 @@ impl Cache {
                 None
             }
         }
+    }
+
+    /// [`Cache::access`] that, on a hit, also ORs `core`'s bit into the
+    /// line's owner mask. Owner updates bump neither `muts` nor the LRU
+    /// state beyond what `access` does: the mask affects no presence or
+    /// victim decision, so outstanding [`MissPlan`]s stay exact.
+    #[inline]
+    pub fn access_owned(&mut self, line: u64, core: usize) -> Option<HitInfo> {
+        let hit = self.access(line);
+        if hit.is_some() {
+            // `touch` just refreshed the MRU hint to the hit way.
+            let set = self.set_of(line);
+            let slot = set * self.ways + self.mru[set] as usize;
+            self.owners[slot] |= owner_bit(core);
+        }
+        hit
     }
 
     #[inline]
@@ -224,6 +259,24 @@ impl Cache {
         }
     }
 
+    /// [`Cache::probe`] that, on a hit, also ORs `core`'s bit into the
+    /// line's owner mask (no LRU or `muts` effect — see
+    /// [`Cache::access_owned`]).
+    pub fn probe_owned(&mut self, line: u64, core: usize) -> bool {
+        match self.scan_planning(line) {
+            Ok(slot) => {
+                self.owners[slot] |= owner_bit(core);
+                true
+            }
+            Err(plan) => {
+                if !self.reference {
+                    self.plan = Some(plan);
+                }
+                false
+            }
+        }
+    }
+
     /// Marks a present line dirty (store hit). No-op if absent.
     ///
     /// Deliberately does not bump `muts`: the dirty bit affects neither
@@ -250,7 +303,7 @@ impl Cache {
 
     /// Refreshes an already-present line in place during `insert`.
     #[inline]
-    fn refresh(&mut self, slot: usize, dirty: bool, prefetched: bool) {
+    fn refresh(&mut self, slot: usize, dirty: bool, prefetched: bool, mask: u32) {
         let w = &mut self.arr[slot];
         let mut meta = (w.meta & (DIRTY_BIT | PF_BIT)) | self.clock;
         if dirty {
@@ -262,6 +315,7 @@ impl Cache {
             meta &= !PF_BIT;
         }
         w.meta = meta;
+        self.owners[slot] |= mask;
     }
 
     /// Inserts a line, evicting the LRU way if the set is full. Returns the
@@ -270,8 +324,25 @@ impl Cache {
     /// the line is no longer attributable to the prefetcher, so its next
     /// access must not count as a useful prefetch.
     pub fn insert(&mut self, line: u64, dirty: bool, prefetched: bool) -> Option<Evicted> {
+        self.insert_mask(line, dirty, prefetched, 0)
+    }
+
+    /// [`Cache::insert`] that seeds the installed line's owner mask with
+    /// `core`'s bit (a refresh ORs it in). The returned victim carries the
+    /// owner mask it accumulated while resident.
+    pub fn insert_owned(
+        &mut self,
+        line: u64,
+        dirty: bool,
+        prefetched: bool,
+        core: usize,
+    ) -> Option<Evicted> {
+        self.insert_mask(line, dirty, prefetched, owner_bit(core))
+    }
+
+    fn insert_mask(&mut self, line: u64, dirty: bool, prefetched: bool, mask: u32) -> Option<Evicted> {
         if self.reference {
-            return self.insert_reference(line, dirty, prefetched);
+            return self.insert_reference(line, dirty, prefetched, mask);
         }
         let set = self.set_of(line);
         // Plan reuse: an earlier miss probe of this exact line, with no
@@ -289,9 +360,13 @@ impl Cache {
                     None
                 } else {
                     let w = self.arr[slot];
-                    Some(Evicted { line: w.tag, dirty: w.meta & DIRTY_BIT != 0 })
+                    Some(Evicted {
+                        line: w.tag,
+                        dirty: w.meta & DIRTY_BIT != 0,
+                        owners: self.owners[slot],
+                    })
                 };
-                self.fill(set, slot, line, dirty, prefetched);
+                self.fill(set, slot, line, dirty, prefetched, mask);
                 return evicted;
             }
         }
@@ -300,7 +375,7 @@ impl Cache {
         // One fused pass: presence, first free way, and LRU victim.
         match self.scan_planning(line) {
             Ok(i) => {
-                self.refresh(i, dirty, prefetched);
+                self.refresh(i, dirty, prefetched, mask);
                 self.mru[set] = (i - set * self.ways) as u32;
                 None
             }
@@ -311,23 +386,33 @@ impl Cache {
                     None
                 } else {
                     let w = self.arr[slot];
-                    Some(Evicted { line: w.tag, dirty: w.meta & DIRTY_BIT != 0 })
+                    Some(Evicted {
+                        line: w.tag,
+                        dirty: w.meta & DIRTY_BIT != 0,
+                        owners: self.owners[slot],
+                    })
                 };
-                self.fill(set, slot, line, dirty, prefetched);
+                self.fill(set, slot, line, dirty, prefetched, mask);
                 evicted
             }
         }
     }
 
     /// The original two-scan insert (reference path).
-    fn insert_reference(&mut self, line: u64, dirty: bool, prefetched: bool) -> Option<Evicted> {
+    fn insert_reference(
+        &mut self,
+        line: u64,
+        dirty: bool,
+        prefetched: bool,
+        mask: u32,
+    ) -> Option<Evicted> {
         let set = self.set_of(line);
         self.clock += 1;
         self.muts += 1;
         // Already present: refresh.
         for i in self.slot_range(set) {
             if self.arr[i].tag == line {
-                self.refresh(i, dirty, prefetched);
+                self.refresh(i, dirty, prefetched, mask);
                 return None;
             }
         }
@@ -347,17 +432,21 @@ impl Cache {
         }
         let w = self.arr[victim];
         let evicted = if w.tag != INVALID {
-            Some(Evicted { line: w.tag, dirty: w.meta & DIRTY_BIT != 0 })
+            Some(Evicted {
+                line: w.tag,
+                dirty: w.meta & DIRTY_BIT != 0,
+                owners: self.owners[victim],
+            })
         } else {
             self.valid += 1;
             None
         };
-        self.fill(set, victim, line, dirty, prefetched);
+        self.fill(set, victim, line, dirty, prefetched, mask);
         evicted
     }
 
     #[inline]
-    fn fill(&mut self, set: usize, slot: usize, line: u64, dirty: bool, prefetched: bool) {
+    fn fill(&mut self, set: usize, slot: usize, line: u64, dirty: bool, prefetched: bool, mask: u32) {
         let mut meta = self.clock;
         if dirty {
             meta |= DIRTY_BIT;
@@ -366,6 +455,7 @@ impl Cache {
             meta |= PF_BIT;
         }
         self.arr[slot] = Way { tag: line, meta };
+        self.owners[slot] = mask;
         self.mru[set] = (slot - set * self.ways) as u32;
     }
 
@@ -377,6 +467,7 @@ impl Cache {
             if self.arr[i].tag == line {
                 let was_dirty = self.arr[i].meta & DIRTY_BIT != 0;
                 self.arr[i] = EMPTY_WAY;
+                self.owners[i] = 0;
                 self.valid -= 1;
                 self.muts += 1;
                 return Some(was_dirty);
@@ -489,7 +580,7 @@ mod tests {
             c.insert(0, true, false);
             c.insert(4, false, false);
             let ev = c.insert(8, false, false).unwrap();
-            assert_eq!(ev, Evicted { line: 0, dirty: true });
+            assert_eq!(ev, Evicted { line: 0, dirty: true, owners: 0 });
         }
     }
 
@@ -500,7 +591,7 @@ mod tests {
             c.mark_dirty(0);
             c.insert(4, false, false);
             let ev = c.insert(8, false, false).unwrap();
-            assert_eq!(ev, Evicted { line: 0, dirty: true });
+            assert_eq!(ev, Evicted { line: 0, dirty: true, owners: 0 });
         }
     }
 
@@ -560,7 +651,7 @@ mod tests {
             assert_eq!(ev.line, 4); // 4 was LRU after refresh of 0
             // evicting 0 now reports dirty
             let ev2 = c.insert(12, false, false).unwrap();
-            assert_eq!(ev2, Evicted { line: 0, dirty: true });
+            assert_eq!(ev2, Evicted { line: 0, dirty: true, owners: 0 });
         }
     }
 
@@ -612,7 +703,7 @@ mod tests {
         let mut rng = Rng(0x5eed);
         for step in 0..8000 {
             let line = rng.next() % 24;
-            match rng.next() % 6 {
+            match rng.next() % 9 {
                 0 | 1 => {
                     assert_eq!(slow.access(line), quick.access(line), "step {step}");
                 }
@@ -628,8 +719,25 @@ mod tests {
                 4 => {
                     assert_eq!(slow.probe(line), quick.probe(line), "step {step}");
                 }
-                _ => {
+                5 => {
                     assert_eq!(slow.invalidate(line), quick.invalidate(line), "step {step}");
+                }
+                6 => {
+                    let c = (rng.next() % 8) as usize;
+                    assert_eq!(slow.access_owned(line, c), quick.access_owned(line, c), "step {step}");
+                }
+                7 => {
+                    let c = (rng.next() % 8) as usize;
+                    let d = rng.next().is_multiple_of(2);
+                    assert_eq!(
+                        slow.insert_owned(line, d, false, c),
+                        quick.insert_owned(line, d, false, c),
+                        "step {step}"
+                    );
+                }
+                _ => {
+                    let c = (rng.next() % 8) as usize;
+                    assert_eq!(slow.probe_owned(line, c), quick.probe_owned(line, c), "step {step}");
                 }
             }
             assert_eq!(slow.contains(line), quick.contains(line), "step {step}");
@@ -672,6 +780,36 @@ mod tests {
             assert_eq!(slow.insert(line, d, false), quick.insert(line, d, false), "step {step}");
             assert_eq!(slow.occupancy(), quick.occupancy(), "step {step}");
         }
+    }
+
+    /// The owner mask accumulates across owned hits, rides out to the
+    /// eviction that removes the line, and resets on reinstall.
+    #[test]
+    fn owner_mask_accumulates_and_resets_per_residency() {
+        for mut c in [reference(), small()] {
+            assert!(c.insert_owned(0, false, false, 1).is_none());
+            assert!(c.access_owned(0, 3).is_some());
+            assert!(c.probe_owned(0, 0));
+            c.insert(4, false, false); // unowned sibling in the same set
+            let ev = c.insert(8, false, false).unwrap(); // evicts LRU = 0
+            assert_eq!(ev.line, 0);
+            assert_eq!(ev.owners, owner_bit(1) | owner_bit(3) | owner_bit(0));
+            // Reinstall under a different core: the old mask must not leak.
+            c.insert_owned(0, false, false, 2); // evicts 4 (owners 0)
+            c.insert(4, false, false);
+            let ev2 = c.insert(12, false, false).unwrap();
+            assert_eq!(ev2.line, 0);
+            assert_eq!(ev2.owners, owner_bit(2));
+        }
+    }
+
+    /// Cores at or beyond the mask width saturate into the top bit —
+    /// conservative sharing, never a lost owner.
+    #[test]
+    fn owner_bit_saturates_wide_core_indices() {
+        assert_eq!(owner_bit(0), 1);
+        assert_eq!(owner_bit(31), 1 << 31);
+        assert_eq!(owner_bit(40), 1 << 31);
     }
 
     #[test]

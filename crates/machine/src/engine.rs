@@ -18,7 +18,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::sync::Arc;
 
-use cochar_trace::{LoopingStream, Slot, SlotStream, StreamFactory, StreamParams};
+use cochar_trace::{BufEntry, LoopingStream, Slot, SlotBuf, SlotStream, StreamFactory, StreamParams};
 use serde::{Deserialize, Serialize};
 
 use crate::cache::Cache;
@@ -232,6 +232,16 @@ impl CoreStream {
         }
     }
 
+    /// Batched generation: one virtual call refills the core's buffer
+    /// with up to [`cochar_trace::FILL_BATCH`] source slots.
+    #[inline]
+    fn fill(&mut self, buf: &mut SlotBuf) -> usize {
+        match self {
+            CoreStream::Finite(s) => s.fill(buf),
+            CoreStream::Looping(s) => s.fill(buf),
+        }
+    }
+
     fn iterations(&self) -> u64 {
         match self {
             CoreStream::Finite(_) => 0,
@@ -265,6 +275,11 @@ struct CoreState {
     finished: bool,
     /// Dense per-pc counters (compacted into `ctr.pc_stats` at run end).
     pc_table: Vec<PcCounters>,
+    /// Generation buffer of the batched fast path; the reference engine
+    /// pulls per slot and leaves it empty.
+    buf: SlotBuf,
+    /// Next unconsumed entry in `buf`.
+    buf_pos: usize,
 }
 
 impl CoreState {
@@ -391,6 +406,8 @@ impl<'a> Engine<'a> {
                     pending: None,
                     finished: false,
                     pc_table: Vec::new(),
+                    buf: SlotBuf::new(),
+                    buf_pos: 0,
                 });
                 privs.push(PrivCache {
                     l1: Cache::new(&cfg.l1d),
@@ -497,10 +514,14 @@ impl<'a> Engine<'a> {
                 continue;
             }
             if let Some(pm) = self.cores[i].pending.take() {
+                let _t = crate::stats::PhaseTimer::start(&crate::stats::SHARED_NS);
                 self.shared_access(i, pm);
             }
             let insns_before = self.cores[i].ctr.instructions;
-            let result = self.advance(i);
+            let result = {
+                let _t = crate::stats::PhaseTimer::start(&crate::stats::ADVANCE_NS);
+                self.advance(i)
+            };
             retired_total += self.cores[i].ctr.instructions - insns_before;
             match result {
                 AdvanceResult::Paused | AdvanceResult::QuantumExpired => {
@@ -595,7 +616,20 @@ impl<'a> Engine<'a> {
 
     /// Runs private work on core `i` until it needs the shared levels, its
     /// quantum expires, or its stream ends.
+    #[inline]
     fn advance(&mut self, i: usize) -> AdvanceResult {
+        if self.reference {
+            self.advance_reference(i)
+        } else {
+            self.advance_batched(i)
+        }
+    }
+
+    /// The original per-slot advance: one virtual `next()` per slot, all
+    /// counters updated in place. This is "batching disabled" — the
+    /// reference flavor the equivalence suite byte-compares the batched
+    /// loop against.
+    fn advance_reference(&mut self, i: usize) -> AdvanceResult {
         let core = &mut self.cores[i];
         let privs = &mut self.privs[i];
         let deadline = core.time + QUANTUM;
@@ -680,8 +714,170 @@ impl<'a> Engine<'a> {
         }
     }
 
+    /// The batched fast path: consumes slots from the core's generation
+    /// buffer, refilling it with one virtual `fill()` per
+    /// [`cochar_trace::FILL_BATCH`] source slots, and accumulates counter
+    /// deltas in locals that flush to `CoreCounters` once per exit.
+    ///
+    /// Byte-identity with [`Engine::advance_reference`] rests on three
+    /// invariants:
+    ///
+    /// * the buffer expands to exactly the slot sequence `next_slot`
+    ///   would yield (`fill` contract, proptested in `cochar-trace`), and
+    ///   refills happen only on a fully consumed buffer, which is what
+    ///   lets `LoopingStream` count restarts at the same consumption
+    ///   points as the per-slot path;
+    /// * a [`BufEntry::ComputeRun`] is consumed with per-unit atomicity:
+    ///   the closed form retires `min(count, ceil((deadline - time) /
+    ///   unit))` units, exactly where the per-slot loop's deadline check
+    ///   would stop — including the final unit's overshoot past the
+    ///   deadline, which is what keeps pause/requeue times (and therefore
+    ///   co-run interleavings, truncation and stall horizons) identical;
+    /// * every exit path flushes the local time/counter deltas before
+    ///   anything else can observe the core.
+    fn advance_batched(&mut self, i: usize) -> AdvanceResult {
+        let core = &mut self.cores[i];
+        let privs = &mut self.privs[i];
+        let deadline = core.time + QUANTUM;
+        // Livelock guard: see `advance_reference`. `Compute(0)` slots are
+        // never coalesced, so the count advances slot for slot.
+        const ZERO_PROGRESS_SLOTS: u32 = 4096;
+        let mut zero_slots: u32 = 0;
+        let mut time = core.time;
+        let mut last_load = core.last_load_completion;
+        let mut d_instr = 0u64;
+        let mut d_loads = 0u64;
+        let mut d_stores = 0u64;
+        let mut d_l1_hits = 0u64;
+        let mut d_pf_useful = 0u64;
+        let mut d_dep_stall = 0u64;
+        macro_rules! flush {
+            () => {{
+                core.time = time;
+                core.last_load_completion = last_load;
+                core.ctr.instructions += d_instr;
+                core.ctr.loads += d_loads;
+                core.ctr.stores += d_stores;
+                core.ctr.l1_hits += d_l1_hits;
+                core.ctr.prefetch_useful += d_pf_useful;
+                core.ctr.dep_stall_cycles += d_dep_stall;
+            }};
+        }
+        loop {
+            if time >= deadline {
+                flush!();
+                return AdvanceResult::QuantumExpired;
+            }
+            if zero_slots >= ZERO_PROGRESS_SLOTS {
+                core.ctr.idle_cycles += deadline - time;
+                time = deadline;
+                flush!();
+                return AdvanceResult::QuantumExpired;
+            }
+            let entry = match core.buf.entry(core.buf_pos) {
+                Some(e) => e,
+                None => {
+                    core.buf.clear();
+                    core.buf_pos = 0;
+                    let pulled = {
+                        let _t = crate::stats::PhaseTimer::start(&crate::stats::REFILL_NS);
+                        core.stream.fill(&mut core.buf)
+                    };
+                    if pulled == 0 {
+                        flush!();
+                        let drain = core.outstanding.iter().copied().max().unwrap_or(0);
+                        core.time = core.time.max(drain).max(1);
+                        core.outstanding.clear();
+                        core.finished = true;
+                        return AdvanceResult::Finished;
+                    }
+                    continue;
+                }
+            };
+            match entry {
+                BufEntry::ComputeRun { unit, count } => {
+                    // time < deadline and unit >= 1 here: the per-slot
+                    // loop would retire units until the first one whose
+                    // start crosses the deadline.
+                    let u = u64::from(unit);
+                    let m = (deadline - time).div_ceil(u).min(u64::from(count));
+                    time += m * u;
+                    d_instr += m * u;
+                    zero_slots = 0;
+                    if m == u64::from(count) {
+                        core.buf_pos += 1;
+                    } else {
+                        core.buf.set_entry(
+                            core.buf_pos,
+                            BufEntry::ComputeRun { unit, count: count - m as u32 },
+                        );
+                    }
+                }
+                BufEntry::One(Slot::Compute(n)) => {
+                    core.buf_pos += 1;
+                    time += u64::from(n);
+                    d_instr += u64::from(n);
+                    if n == 0 {
+                        zero_slots += 1;
+                    } else {
+                        zero_slots = 0;
+                    }
+                }
+                BufEntry::One(Slot::Load { addr, pc, dep }) => {
+                    core.buf_pos += 1;
+                    zero_slots = 0;
+                    d_instr += 1;
+                    d_loads += 1;
+                    if dep && last_load > time {
+                        d_dep_stall += last_load - time;
+                        time = last_load;
+                    }
+                    let line = addr / LINE_BYTES;
+                    if let Some(hit) = privs.l1.access(line) {
+                        d_l1_hits += 1;
+                        core.pc_stat(pc).accesses += 1;
+                        if hit.was_prefetched {
+                            d_pf_useful += 1;
+                        }
+                        last_load = time + u64::from(self.cfg.l1d.latency);
+                        time += 1;
+                    } else {
+                        flush!();
+                        Self::resolve_mshr(core, self.cfg.mlp);
+                        core.pending = Some(PendingMem { line, is_store: false, pc });
+                        return AdvanceResult::Paused;
+                    }
+                }
+                BufEntry::One(Slot::Store { addr, pc }) => {
+                    core.buf_pos += 1;
+                    zero_slots = 0;
+                    d_instr += 1;
+                    d_stores += 1;
+                    let line = addr / LINE_BYTES;
+                    if privs.l1.access(line).is_some() {
+                        d_l1_hits += 1;
+                        core.pc_stat(pc).accesses += 1;
+                        privs.l1.mark_dirty(line);
+                        time += 1;
+                    } else {
+                        flush!();
+                        Self::resolve_mshr(core, self.cfg.mlp);
+                        core.pending = Some(PendingMem { line, is_store: true, pc });
+                        return AdvanceResult::Paused;
+                    }
+                }
+            }
+        }
+    }
+
     /// Applies MSHR capacity: if all `mlp` slots are busy, the core stalls
     /// until the earliest outstanding miss completes.
+    ///
+    /// One prune (before the capacity check) suffices. Entries the stall
+    /// leaves stale (completion <= the advanced time) are unobservable:
+    /// the next capacity check re-prunes before counting, and the
+    /// stream-end drain takes `max(outstanding)`, which a stale entry at
+    /// or below `time` can never raise.
     fn resolve_mshr(core: &mut CoreState, mlp: u32) {
         core.prune_outstanding();
         if core.outstanding.len() >= mlp as usize {
@@ -697,7 +893,6 @@ impl<'a> Engine<'a> {
                 core.ctr.mlp_stall_cycles += earliest - core.time;
                 core.time = earliest;
             }
-            core.prune_outstanding();
         }
     }
 
@@ -747,7 +942,10 @@ impl<'a> Engine<'a> {
         } else {
             self.cores[i].ctr.l2_misses += 1;
             // --- LLC (shared) ---
-            let llc_hit = self.llc.access(line);
+            // Owned access: a hit is followed by private fills on core
+            // `i`, so record `i` in the line's owner mask for the
+            // back-invalidation filter (see `insert_llc`).
+            let llc_hit = self.llc.access_owned(line, i);
             let inflight_c = self.inflight.get(line).filter(|&c| c > now);
             completion = match (llc_hit, inflight_c) {
                 (_, Some(c)) => {
@@ -757,7 +955,7 @@ impl<'a> Engine<'a> {
                     self.cores[i].ctr.prefetch_late += 1;
                     if llc_hit.is_none() {
                         // Evicted before arrival: re-install.
-                        self.insert_llc(line, false, false, now, app);
+                        self.insert_llc(line, false, false, now, app, i);
                     }
                     c.max(now + u64::from(self.cfg.llc.latency))
                 }
@@ -772,7 +970,7 @@ impl<'a> Engine<'a> {
                     self.cores[i].ctr.llc_misses += 1;
                     let grant = self.mem.request_read_line(now, app, line);
                     self.inflight.insert(line, grant.completion);
-                    self.insert_llc(line, false, false, now, app);
+                    self.insert_llc(line, false, false, now, app, i);
                     grant.completion
                 }
             };
@@ -807,12 +1005,14 @@ impl<'a> Engine<'a> {
         // `privs` and `pf_buf` are disjoint fields, so the buffer is
         // filled in place — no Vec swap in and out of `self` per access.
         let obs = AccessObservation { pc: pm.pc, line, l1_hit: false, l2_hit: l2_hit.is_some() };
+        let _pf_t = crate::stats::PhaseTimer::start(&crate::stats::PF_NS);
         self.pf_buf.clear();
         self.privs[i].pf.observe(&obs, &mut self.pf_buf);
         for k in 0..self.pf_buf.len() {
             let req = self.pf_buf[k];
             self.issue_prefetch(i, req, now, app);
         }
+        drop(_pf_t);
 
         // Bound the in-flight map. The bound is a pure locality knob:
         // reads filter on `completion > now`, so dead entries are never
@@ -826,12 +1026,31 @@ impl<'a> Engine<'a> {
     }
 
     /// Installs a line into the LLC, handling write-backs and inclusive
-    /// back-invalidation of the victim.
-    fn insert_llc(&mut self, line: u64, dirty: bool, prefetched: bool, now: u64, app: usize) {
-        if let Some(ev) = self.llc.insert(line, dirty, prefetched) {
+    /// back-invalidation of the victim. `core` is the core whose private
+    /// caches the caller fills with `line` next; it is recorded in the LLC
+    /// entry's owner mask.
+    ///
+    /// The victim sweep only visits cores in the victim's owner mask.
+    /// That is exact, not heuristic: a private cache acquires a line only
+    /// through `fill_l1`/`fill_l2`, every such fill happens while the line
+    /// is resident in the (inclusive) LLC, and every path to a fill marks
+    /// the filling core in that residency's mask — demand LLC misses and
+    /// prefetch installs seed it via `insert_owned`, LLC hits OR it via
+    /// `access_owned`/`probe_owned`, and private-hit paths (L2 hit,
+    /// prefetch L2 probe) imply the bit was already set when the L2 copy
+    /// was filled (an LLC eviction in between would have invalidated that
+    /// copy). A core outside the mask therefore cannot hold the victim.
+    /// The reference engine keeps the full sweep so the equivalence suite
+    /// byte-compares the two.
+    fn insert_llc(&mut self, line: u64, dirty: bool, prefetched: bool, now: u64, app: usize, core: usize) {
+        if let Some(ev) = self.llc.insert_owned(line, dirty, prefetched, core) {
             let mut writeback = ev.dirty;
             if self.cfg.llc_inclusive {
-                for p in self.privs.iter_mut() {
+                let _t = crate::stats::PhaseTimer::start(&crate::stats::INVAL_NS);
+                for (ci, p) in self.privs.iter_mut().enumerate() {
+                    if !self.reference && ev.owners & crate::cache::owner_bit(ci) == 0 {
+                        continue;
+                    }
                     if p.l1.invalidate(ev.line) == Some(true) {
                         writeback = true;
                     }
@@ -889,7 +1108,7 @@ impl<'a> Engine<'a> {
             return;
         }
         // Shared hit: pull into the private levels without memory traffic.
-        if self.llc.probe(line) {
+        if self.llc.probe_owned(line, i) {
             self.fill_l2(i, line, true, now, app);
             if req.into_l1 {
                 self.fill_l1(i, line, false, true, now, app);
@@ -905,7 +1124,7 @@ impl<'a> Engine<'a> {
         }
         let grant = self.mem.request_read_line(now, app, line);
         self.inflight.insert(line, grant.completion);
-        self.insert_llc(line, false, true, now, app);
+        self.insert_llc(line, false, true, now, app, i);
         self.fill_l2(i, line, true, now, app);
         if req.into_l1 {
             self.fill_l1(i, line, false, true, now, app);

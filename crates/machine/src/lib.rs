@@ -47,14 +47,16 @@ pub mod fastmap;
 pub mod memctrl;
 pub mod prefetch;
 pub mod stable;
+pub mod stats;
 
 /// Cache line size in bytes (fixed across the suite).
 pub const LINE_BYTES: u64 = 64;
 
-pub use cache::{Cache, Evicted};
+pub use cache::{owner_bit, Cache, Evicted};
 pub use config::{CacheConfig, MachineConfig};
 pub use counters::CoreCounters;
 pub use engine::{AppResult, AppSpec, Machine, Role, RunOutcome};
 pub use memctrl::{EpochTraffic, MemoryController};
 pub use prefetch::Msr;
 pub use stable::{StableHash, StableHasher};
+pub use stats::{engine_stats_report, engine_stats_reset};

@@ -181,6 +181,7 @@ impl MemoryController {
     /// A demand or prefetch read of `line` on behalf of `app`. The data
     /// is available at `Grant::completion`.
     pub fn request_read_line(&mut self, now: u64, app: usize, line: u64) -> Grant {
+        let _t = crate::stats::PhaseTimer::start(&crate::stats::MEMCTRL_NS);
         let start = self.grant_slot(now, line);
         self.read_lines += 1;
         self.record(now, app, false);
@@ -199,6 +200,7 @@ impl MemoryController {
     /// occupy a service slot (consuming bandwidth) but nothing waits on
     /// them.
     pub fn request_write_line(&mut self, now: u64, app: usize, line: u64) {
+        let _t = crate::stats::PhaseTimer::start(&crate::stats::MEMCTRL_NS);
         self.grant_slot(now, line);
         self.write_lines += 1;
         self.record(now, app, true);
@@ -218,6 +220,7 @@ impl MemoryController {
 
     /// Worst-channel queueing delay at `now`, in cycles.
     pub fn queue_delay(&self, now: u64) -> u64 {
+        let _t = crate::stats::PhaseTimer::start(&crate::stats::MEMCTRL_NS);
         self.free_mc
             .iter()
             .map(|&f| (f / 1000).saturating_sub(now))

@@ -5,7 +5,7 @@
 //! barrier costs are what make P-SSSP, ATIS, and AMG2006 scale poorly in
 //! the paper, independent of their memory behaviour.
 
-use crate::slot::{Slot, SlotStream};
+use crate::slot::{Slot, SlotBuf, SlotStream};
 
 /// Runs child streams back to back (workload phases).
 pub struct Chain {
@@ -29,6 +29,23 @@ impl SlotStream for Chain {
             self.idx += 1;
         }
         None
+    }
+
+    fn fill(&mut self, buf: &mut SlotBuf) -> usize {
+        // Delegate to the current part's own `fill` so its fused loop (or
+        // monomorphized default) runs, instead of a virtual call per slot
+        // through the chain's `next_slot`. A part is only retired when its
+        // `fill` pulls nothing — a nonzero partial batch is not proof of
+        // exhaustion for every stream type.
+        let mut pulled = 0;
+        while buf.has_room() && self.idx < self.parts.len() {
+            let got = self.parts[self.idx].fill(buf);
+            if got == 0 {
+                self.idx += 1;
+            }
+            pulled += got;
+        }
+        pulled
     }
 }
 
@@ -93,6 +110,34 @@ impl SlotStream for Interleave {
             self.next_slot()
         }
     }
+
+    fn fill(&mut self, buf: &mut SlotBuf) -> usize {
+        // Sub-budget the buffer so each child's own `fill` pulls exactly
+        // its remaining weight quota (or the outer budget, whichever is
+        // smaller), preserving the weighted round-robin slot order while
+        // letting the child run its fused loop. A child is retired only
+        // when its `fill` pulls nothing.
+        let mut pulled = 0;
+        while buf.has_room() {
+            if self.children[self.cur].2 || self.left == 0 {
+                if self.children.iter().all(|(_, _, done)| *done) {
+                    break;
+                }
+                self.advance();
+                continue;
+            }
+            let take = (self.left as usize).min(buf.room());
+            let outer = buf.set_cap(buf.pulled() + take);
+            let got = self.children[self.cur].0.fill(buf);
+            buf.set_cap(outer);
+            pulled += got;
+            self.left -= got as u32;
+            if got == 0 {
+                self.children[self.cur].2 = true;
+            }
+        }
+        pulled
+    }
 }
 
 /// Pure compute: `total` instructions emitted in `batch`-sized slots.
@@ -118,6 +163,28 @@ impl SlotStream for ComputeStream {
         let n = self.remaining.min(u64::from(self.batch)) as u32;
         self.remaining -= u64::from(n);
         Some(Slot::Compute(n))
+    }
+
+    fn fill(&mut self, buf: &mut SlotBuf) -> usize {
+        // The slot sequence is `batch, batch, …, batch, tail` — a run of
+        // whole batches plus at most one partial slot. `push_run` appends
+        // the run in O(1) instead of one `push` per slot.
+        let mut pulled = 0;
+        let unit = u64::from(self.batch);
+        while buf.has_room() && self.remaining > 0 {
+            let whole = self.remaining / unit;
+            let take = whole.min(buf.room() as u64).min(u64::from(u32::MAX));
+            if take > 0 {
+                buf.push_run(self.batch, take as u32);
+                self.remaining -= take * unit;
+                pulled += take as usize;
+            } else {
+                buf.push(Slot::Compute(self.remaining as u32));
+                self.remaining = 0;
+                pulled += 1;
+            }
+        }
+        pulled
     }
 }
 
@@ -170,6 +237,34 @@ impl SlotStream for BarrierLoop {
             self.current = Some((self.body)(self.iter));
             self.iter += 1;
         }
+    }
+
+    fn fill(&mut self, buf: &mut SlotBuf) -> usize {
+        let mut pulled = 0;
+        while buf.has_room() {
+            if self.in_barrier > 0 {
+                let n = self.in_barrier.min(u64::from(u32::MAX)) as u32;
+                self.in_barrier -= u64::from(n);
+                buf.push(Slot::Compute(n));
+                pulled += 1;
+                continue;
+            }
+            if let Some(cur) = self.current.as_mut() {
+                let got = cur.fill(buf);
+                pulled += got;
+                if got == 0 {
+                    self.current = None;
+                    self.in_barrier = self.barrier_cost;
+                }
+                continue;
+            }
+            if self.iter >= self.iterations {
+                break;
+            }
+            self.current = Some((self.body)(self.iter));
+            self.iter += 1;
+        }
+        pulled
     }
 }
 

@@ -1,7 +1,7 @@
 //! Blocked dense-compute kernels: the deep-learning-training signature.
 
 use crate::layout::ArrayRef;
-use crate::slot::{Slot, SlotStream};
+use crate::slot::{Slot, SlotBuf, SlotStream};
 
 /// A tiled GEMM-like kernel: sweep a tile of the operand arrays, then
 /// re-traverse it `reuse` times (accumulation passes) before moving to the
@@ -106,6 +106,59 @@ impl SlotStream for BlockedGemm {
             }
         }
         Some(slot)
+    }
+
+    fn fill(&mut self, buf: &mut SlotBuf) -> usize {
+        let mut pulled = 0;
+        while self.step != 0 && self.tiles_remaining > 0 && buf.has_room() {
+            let s = self.next_slot().expect("mid-group gemm slot");
+            buf.push(s);
+            pulled += 1;
+        }
+        // Whole element groups (load a, load b, compute) of the current
+        // tile; the tile bases only change at group boundaries, so they
+        // are hoisted per pass segment.
+        let compute = Slot::Compute(self.compute_per_access.max(1));
+        while self.tiles_remaining > 0 && buf.room() >= 3 {
+            let a_base = self.tile_base(&self.a);
+            let b_base = self.tile_base(&self.b);
+            let groups = ((buf.room() / 3) as u64).min(self.tile - self.i);
+            for _ in 0..groups {
+                buf.push(Slot::Load {
+                    addr: self.a.at((a_base + self.i) % self.a.count()),
+                    pc: self.pc,
+                    dep: false,
+                });
+                buf.push(Slot::Load {
+                    addr: self.b.at((b_base + self.i) % self.b.count()),
+                    pc: self.pc + 1,
+                    dep: false,
+                });
+                buf.push(compute);
+                self.i += 1;
+            }
+            pulled += 3 * groups as usize;
+            if self.i == self.tile {
+                self.i = 0;
+                if self.pass < self.reuse {
+                    self.pass += 1;
+                } else {
+                    self.pass = 0;
+                    self.tile_no += 1;
+                    self.tiles_remaining -= 1;
+                }
+            }
+        }
+        while buf.has_room() {
+            match self.next_slot() {
+                Some(s) => {
+                    buf.push(s);
+                    pulled += 1;
+                }
+                None => break,
+            }
+        }
+        pulled
     }
 }
 

@@ -1,7 +1,7 @@
 //! Sequential and strided streaming patterns.
 
 use crate::layout::ArrayRef;
-use crate::slot::{Slot, SlotStream};
+use crate::slot::{Slot, SlotBuf, SlotStream};
 
 /// Sequential sweep over an array: the canonical prefetch-friendly,
 /// bandwidth-hungry pattern (STREAM-like reads, fotonik3d-like sweeps).
@@ -68,6 +68,33 @@ impl SlotStream for Seq {
             Slot::Load { addr, pc: self.pc, dep: false }
         })
     }
+
+    fn fill(&mut self, buf: &mut SlotBuf) -> usize {
+        // Load-only sweeps (the common bandwidth pattern) take a fused
+        // loop with the mode branches hoisted out; mixed sweeps fall back
+        // to the per-slot state machine.
+        if self.compute_per_access == 0 && self.store_every == 0 {
+            let take = (buf.room() as u64).min(self.end - self.idx);
+            for _ in 0..take {
+                buf.push(Slot::Load { addr: self.array.at(self.idx), pc: self.pc, dep: false });
+                self.idx += 1;
+            }
+            self.access_no += take;
+            self.pending_access = take == 0 && self.pending_access;
+            return take as usize;
+        }
+        let mut pulled = 0;
+        while buf.has_room() {
+            match self.next_slot() {
+                Some(s) => {
+                    buf.push(s);
+                    pulled += 1;
+                }
+                None => break,
+            }
+        }
+        pulled
+    }
 }
 
 /// Strided sweep: touches every `stride`-th element. With a stride of one
@@ -113,6 +140,31 @@ impl SlotStream for Strided {
         self.remaining -= 1;
         self.pending_access = false;
         Some(Slot::Load { addr, pc: self.pc, dep: false })
+    }
+
+    fn fill(&mut self, buf: &mut SlotBuf) -> usize {
+        if self.compute_per_access == 0 {
+            let n = self.array.count();
+            let take = (buf.room() as u64).min(self.remaining);
+            for _ in 0..take {
+                buf.push(Slot::Load { addr: self.array.at(self.idx % n), pc: self.pc, dep: false });
+                self.idx += self.stride;
+            }
+            self.remaining -= take;
+            self.pending_access = take == 0 && self.pending_access;
+            return take as usize;
+        }
+        let mut pulled = 0;
+        while buf.has_room() {
+            match self.next_slot() {
+                Some(s) => {
+                    buf.push(s);
+                    pulled += 1;
+                }
+                None => break,
+            }
+        }
+        pulled
     }
 }
 

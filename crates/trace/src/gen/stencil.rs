@@ -1,7 +1,7 @@
 //! Multi-stream stencil sweeps: the HPC signature pattern.
 
 use crate::layout::ArrayRef;
-use crate::slot::{Slot, SlotStream};
+use crate::slot::{Slot, SlotBuf, SlotStream};
 
 /// A 1-D sweep reading `points` neighbouring planes per output element and
 /// writing one, modelling nested-loop HPC kernels (IRSmk's 27-point
@@ -72,6 +72,45 @@ impl SlotStream for Stencil {
             self.i += 1;
         }
         Some(slot)
+    }
+
+    fn fill(&mut self, buf: &mut SlotBuf) -> usize {
+        let mut pulled = 0;
+        // Finish any partially emitted element group, then emit whole
+        // groups (plane loads, optional compute, store) in a fused loop.
+        while self.step != 0 && self.i < self.end && buf.has_room() {
+            let s = self.next_slot().expect("mid-group stencil slot");
+            buf.push(s);
+            pulled += 1;
+        }
+        let group = self.points as usize + usize::from(self.compute_per_point > 0) + 1;
+        let src_n = self.src.count();
+        while self.i < self.end && buf.room() >= group {
+            for k in 0..u64::from(self.points) {
+                let idx = (self.i + k * self.plane_stride) % src_n;
+                buf.push(Slot::Load {
+                    addr: self.src.at(idx),
+                    pc: self.pc + k as u32,
+                    dep: false,
+                });
+            }
+            if self.compute_per_point > 0 {
+                buf.push(Slot::Compute(self.compute_per_point * self.points));
+            }
+            buf.push(Slot::Store { addr: self.dst.at(self.i), pc: self.pc + self.points + 1 });
+            pulled += group;
+            self.i += 1;
+        }
+        while buf.has_room() {
+            match self.next_slot() {
+                Some(s) => {
+                    buf.push(s);
+                    pulled += 1;
+                }
+                None => break,
+            }
+        }
+        pulled
     }
 }
 

@@ -1,7 +1,7 @@
 //! McCalpin STREAM triad: `a[i] = b[i] + s * c[i]`.
 
 use crate::layout::ArrayRef;
-use crate::slot::{Slot, SlotStream};
+use crate::slot::{Slot, SlotBuf, SlotStream};
 
 /// The STREAM triad kernel over three equally sized arrays, repeated for
 /// `iterations` passes. Two sequential load streams plus one sequential
@@ -50,6 +50,40 @@ impl SlotStream for Triad {
             }
         }
         Some(slot)
+    }
+
+    fn fill(&mut self, buf: &mut SlotBuf) -> usize {
+        let mut pulled = 0;
+        // Align to a group boundary, then emit whole four-slot element
+        // groups without re-entering the step machine.
+        while self.step != 0 && self.iterations > 0 && buf.has_room() {
+            let s = self.next_slot().expect("mid-group triad slot");
+            buf.push(s);
+            pulled += 1;
+        }
+        while self.iterations > 0 && buf.room() >= 4 {
+            buf.push(Slot::Load { addr: self.b.at(self.i), pc: 10, dep: false });
+            buf.push(Slot::Load { addr: self.c.at(self.i), pc: 11, dep: false });
+            buf.push(Slot::Compute(2));
+            buf.push(Slot::Store { addr: self.a.at(self.i), pc: 12 });
+            pulled += 4;
+            self.i += 1;
+            if self.i == self.n {
+                self.i = 0;
+                self.iterations -= 1;
+            }
+        }
+        // Top up the last partial group so the budget is met exactly.
+        while buf.has_room() {
+            match self.next_slot() {
+                Some(s) => {
+                    buf.push(s);
+                    pulled += 1;
+                }
+                None => break,
+            }
+        }
+        pulled
     }
 }
 

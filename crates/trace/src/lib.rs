@@ -28,5 +28,6 @@ pub mod slot;
 pub use layout::{ArrayRef, Region};
 pub use rng::Lcg;
 pub use slot::{
-    LoopingStream, Slot, SlotStream, StreamFactory, StreamParams, VecStream,
+    BufEntry, LoopingStream, Slot, SlotBuf, SlotStream, StreamFactory, StreamParams, VecStream,
+    FILL_BATCH,
 };

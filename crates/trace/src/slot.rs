@@ -66,6 +66,210 @@ impl Slot {
     }
 }
 
+/// Source slots pulled per [`SlotStream::fill`] call: one virtual call
+/// through a `Box<dyn SlotStream>` amortizes over this many slots. 256
+/// entries keep a core's buffer a few KiB — resident in a host L1/L2 —
+/// while making generator dispatch invisible in the engine profile.
+pub const FILL_BATCH: usize = 256;
+
+/// One entry of a [`SlotBuf`]: either a single slot, or a *run* of equal
+/// nonzero compute slots coalesced at generation time.
+///
+/// A run stands for `count` repetitions of `Slot::Compute(unit)` and must
+/// be consumed with the same per-slot atomicity the expanded sequence
+/// would have (each unit checked against the quantum deadline before it
+/// retires, overshooting by at most `unit - 1` cycles). Keeping the unit
+/// explicit is what lets the engine split a run at a quantum boundary
+/// with a closed form while staying byte-identical to per-slot
+/// consumption — merging *unequal* computes into one atomic slot would
+/// shift pause times and diverge on co-runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BufEntry {
+    /// A single slot, passed through unchanged.
+    One(Slot),
+    /// `count` adjacent `Slot::Compute(unit)` slots, `unit > 0`.
+    ComputeRun {
+        /// Instructions per coalesced slot.
+        unit: u32,
+        /// Number of coalesced slots.
+        count: u32,
+    },
+}
+
+impl BufEntry {
+    /// Source slots this entry stands for.
+    #[inline]
+    pub fn source_slots(&self) -> usize {
+        match self {
+            BufEntry::One(_) => 1,
+            BufEntry::ComputeRun { count, .. } => *count as usize,
+        }
+    }
+}
+
+/// A generation buffer filled by [`SlotStream::fill`]: a contiguous batch
+/// of upcoming slots for one simulated thread, with adjacent equal
+/// compute slots coalesced into [`BufEntry::ComputeRun`]s.
+///
+/// The buffer budgets *source* slots (what the stream produced), not
+/// entries: a compute-heavy stream whose slots all coalesce still stops
+/// after [`FILL_BATCH`] pulls, so `fill` terminates on infinite streams.
+#[derive(Debug, Default)]
+pub struct SlotBuf {
+    entries: Vec<BufEntry>,
+    /// Source slots pushed since the last `clear`.
+    pulled: usize,
+    /// Source-slot budget; `push` beyond it is allowed but `has_room`
+    /// turns false, which is what every `fill` loop polls.
+    cap: usize,
+}
+
+impl SlotBuf {
+    /// An empty buffer with the default [`FILL_BATCH`] budget.
+    pub fn new() -> Self {
+        SlotBuf { entries: Vec::with_capacity(FILL_BATCH), pulled: 0, cap: FILL_BATCH }
+    }
+
+    /// Clears entries and restores the default budget.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.pulled = 0;
+        self.cap = FILL_BATCH;
+    }
+
+    /// True while the source-slot budget has room.
+    #[inline]
+    pub fn has_room(&self) -> bool {
+        self.pulled < self.cap
+    }
+
+    /// Source slots pushed since the last `clear`.
+    #[inline]
+    pub fn pulled(&self) -> usize {
+        self.pulled
+    }
+
+    /// Source slots left in the budget. Fused `fill` loops use this to
+    /// size a run or an unrolled group up front instead of polling
+    /// `has_room` per slot.
+    #[inline]
+    pub fn room(&self) -> usize {
+        self.cap.saturating_sub(self.pulled)
+    }
+
+    /// Replaces the source-slot budget, returning the previous value.
+    /// Composite generators use this to sub-budget a child's `fill`
+    /// (e.g. an interleave pulling `k` slots per turn) and restore the
+    /// outer budget afterwards.
+    pub fn set_cap(&mut self, cap: usize) -> usize {
+        std::mem::replace(&mut self.cap, cap)
+    }
+
+    /// Number of buffered entries (coalesced, not source slots).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no entries are buffered.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The `i`-th entry, if buffered.
+    #[inline]
+    pub fn entry(&self, i: usize) -> Option<BufEntry> {
+        self.entries.get(i).copied()
+    }
+
+    /// Overwrites the `i`-th entry (the engine shrinks a partially
+    /// consumed compute run in place).
+    #[inline]
+    pub fn set_entry(&mut self, i: usize, e: BufEntry) {
+        self.entries[i] = e;
+    }
+
+    /// Appends one source slot, coalescing it into the previous entry
+    /// when it is an equal nonzero compute slot. `Compute(0)` is never
+    /// coalesced: the engine's livelock guard counts zero-cost slots
+    /// individually.
+    #[inline]
+    pub fn push(&mut self, s: Slot) {
+        self.pulled += 1;
+        if let Slot::Compute(n) = s {
+            if n > 0 {
+                if let Some(last) = self.entries.last_mut() {
+                    match last {
+                        BufEntry::ComputeRun { unit, count }
+                            if *unit == n && *count < u32::MAX =>
+                        {
+                            *count += 1;
+                            return;
+                        }
+                        BufEntry::One(Slot::Compute(m)) if *m == n => {
+                            *last = BufEntry::ComputeRun { unit: n, count: 2 };
+                            return;
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        self.entries.push(BufEntry::One(s));
+    }
+
+    /// Appends `count` repetitions of `Compute(unit)` in O(1), counting
+    /// them against the source-slot budget. Generators that emit long
+    /// uniform compute phases use this instead of `count` pushes.
+    pub fn push_run(&mut self, unit: u32, count: u32) {
+        if count == 0 {
+            return;
+        }
+        self.pulled += count as usize;
+        if unit == 0 {
+            // Zero-cost slots stay individual (livelock-guard semantics).
+            for _ in 0..count {
+                self.entries.push(BufEntry::One(Slot::Compute(0)));
+            }
+            return;
+        }
+        match self.entries.last_mut() {
+            Some(BufEntry::ComputeRun { unit: u, count: c }) if *u == unit => {
+                if let Some(sum) = c.checked_add(count) {
+                    *c = sum;
+                    return;
+                }
+            }
+            Some(last @ BufEntry::One(Slot::Compute(_)))
+                if *last == BufEntry::One(Slot::Compute(unit)) && count < u32::MAX =>
+            {
+                *last = BufEntry::ComputeRun { unit, count: count + 1 };
+                return;
+            }
+            _ => {}
+        }
+        if count == 1 {
+            self.entries.push(BufEntry::One(Slot::Compute(unit)));
+        } else {
+            self.entries.push(BufEntry::ComputeRun { unit, count });
+        }
+    }
+
+    /// Expands the buffered entries back into the source slot sequence.
+    /// Test/diagnostic helper: `fill` + `iter_slots` must reproduce the
+    /// exact sequence `next_slot` would have yielded.
+    pub fn iter_slots(&self) -> impl Iterator<Item = Slot> + '_ {
+        self.entries.iter().flat_map(|e| {
+            let (slot, n) = match *e {
+                BufEntry::One(s) => (s, 1),
+                BufEntry::ComputeRun { unit, count } => (Slot::Compute(unit), count),
+            };
+            std::iter::repeat_n(slot, n as usize)
+        })
+    }
+}
+
 /// A lazily produced sequence of [`Slot`]s for one simulated thread.
 ///
 /// Streams must be deterministic: two streams built from the same factory
@@ -73,6 +277,33 @@ impl Slot {
 pub trait SlotStream: Send {
     /// The next slot, or `None` when the thread's work is finished.
     fn next_slot(&mut self) -> Option<Slot>;
+
+    /// Appends upcoming slots to `buf` until the buffer's source-slot
+    /// budget is exhausted or the stream ends; returns the number of
+    /// source slots appended. A return of `0` with room left means the
+    /// stream is exhausted.
+    ///
+    /// The expanded buffer contents must equal what repeated `next_slot`
+    /// calls would have yielded — `fill` is a batching transport, never a
+    /// resequencing one. The default implementation loops `next_slot`
+    /// (statically dispatched on `Self`, so one virtual `fill` call
+    /// through a `Box<dyn SlotStream>` already amortizes the vtable cost
+    /// over the whole batch); hot generators override it with a fused
+    /// loop. The engine calls `fill` only on an empty (cleared) buffer,
+    /// which restart-sensitive wrappers ([`LoopingStream`]) rely on.
+    fn fill(&mut self, buf: &mut SlotBuf) -> usize {
+        let mut pulled = 0;
+        while buf.has_room() {
+            match self.next_slot() {
+                Some(s) => {
+                    buf.push(s);
+                    pulled += 1;
+                }
+                None => break,
+            }
+        }
+        pulled
+    }
 }
 
 /// Parameters identifying one thread of one workload instance.
@@ -173,6 +404,47 @@ impl SlotStream for LoopingStream {
         self.iterations -= 1;
         Some(Slot::Compute(IDLE_BATCH))
     }
+
+    fn fill(&mut self, buf: &mut SlotBuf) -> usize {
+        if self.idle {
+            let mut pulled = 0;
+            while buf.has_room() {
+                buf.push(Slot::Compute(IDLE_BATCH));
+                pulled += 1;
+            }
+            return pulled;
+        }
+        let mut pulled = self.current.fill(buf);
+        while buf.has_room() {
+            // Inner stream exhausted. Restart it only when the buffer is
+            // empty: already-buffered slots may never be consumed (the
+            // foreground can finish first), and `iterations()` must count
+            // a restart exactly when its first slot is reached — which,
+            // on an empty-buffer refill, is the very next slot the engine
+            // consumes. Mid-buffer restarts would count too early and
+            // diverge from per-slot consumption.
+            if !buf.is_empty() {
+                return pulled;
+            }
+            self.iterations += 1;
+            let mut p = self.params;
+            p.seed = p.seed.wrapping_add(self.iterations);
+            self.current = self.factory.build(&p);
+            let got = self.current.fill(buf);
+            if got == 0 {
+                // Rebuilt stream is empty too: idle, as in `next_slot`.
+                self.idle = true;
+                self.iterations -= 1;
+                while buf.has_room() {
+                    buf.push(Slot::Compute(IDLE_BATCH));
+                    pulled += 1;
+                }
+                return pulled;
+            }
+            pulled += got;
+        }
+        pulled
+    }
 }
 
 /// A stream backed by a pre-materialized vector of slots. Mostly useful in
@@ -196,6 +468,21 @@ impl SlotStream for VecStream {
             self.pos += 1;
         }
         s
+    }
+
+    fn fill(&mut self, buf: &mut SlotBuf) -> usize {
+        let mut pulled = 0;
+        while buf.has_room() {
+            match self.slots.get(self.pos).copied() {
+                Some(s) => {
+                    buf.push(s);
+                    self.pos += 1;
+                    pulled += 1;
+                }
+                None => break,
+            }
+        }
+        pulled
     }
 }
 
@@ -297,6 +584,148 @@ mod tests {
                 other => panic!("idle background thread must yield compute slots, got {other:?}"),
             }
         }
+        assert_eq!(s.iterations(), 0, "empty rebuilds are not completed iterations");
+    }
+
+    #[test]
+    fn slotbuf_coalesces_equal_nonzero_computes() {
+        let mut buf = SlotBuf::new();
+        buf.push(Slot::Compute(5));
+        buf.push(Slot::Compute(5));
+        buf.push(Slot::Compute(5));
+        buf.push(Slot::Compute(3));
+        buf.push(Slot::Load { addr: 64, pc: 0, dep: false });
+        assert_eq!(buf.len(), 3);
+        assert_eq!(buf.entry(0), Some(BufEntry::ComputeRun { unit: 5, count: 3 }));
+        assert_eq!(buf.entry(1), Some(BufEntry::One(Slot::Compute(3))));
+        assert_eq!(buf.pulled(), 5);
+        let expanded: Vec<Slot> = buf.iter_slots().collect();
+        assert_eq!(
+            expanded,
+            vec![
+                Slot::Compute(5),
+                Slot::Compute(5),
+                Slot::Compute(5),
+                Slot::Compute(3),
+                Slot::Load { addr: 64, pc: 0, dep: false },
+            ]
+        );
+    }
+
+    #[test]
+    fn slotbuf_never_coalesces_zero_cost_slots() {
+        // The engine's livelock guard counts Compute(0) slots one by one.
+        let mut buf = SlotBuf::new();
+        buf.push(Slot::Compute(0));
+        buf.push(Slot::Compute(0));
+        buf.push_run(0, 3);
+        assert_eq!(buf.len(), 5);
+        assert!(buf.iter_slots().all(|s| s == Slot::Compute(0)));
+    }
+
+    #[test]
+    fn slotbuf_push_run_merges_with_tail() {
+        let mut buf = SlotBuf::new();
+        buf.push(Slot::Compute(7));
+        buf.push_run(7, 10);
+        buf.push_run(7, 2);
+        assert_eq!(buf.len(), 1);
+        assert_eq!(buf.entry(0), Some(BufEntry::ComputeRun { unit: 7, count: 13 }));
+        assert_eq!(buf.pulled(), 13);
+        buf.push_run(9, 1);
+        assert_eq!(buf.entry(1), Some(BufEntry::One(Slot::Compute(9))));
+    }
+
+    #[test]
+    fn slotbuf_budget_bounds_source_slots_not_entries() {
+        // An infinite uniform compute stream coalesces into one entry but
+        // must still stop at the source budget.
+        struct Forever;
+        impl SlotStream for Forever {
+            fn next_slot(&mut self) -> Option<Slot> {
+                Some(Slot::Compute(4))
+            }
+        }
+        let mut buf = SlotBuf::new();
+        let pulled = Forever.fill(&mut buf);
+        assert_eq!(pulled, FILL_BATCH);
+        assert_eq!(buf.len(), 1);
+        assert!(!buf.has_room());
+    }
+
+    #[test]
+    fn slotbuf_sub_budget_restores() {
+        let mut buf = SlotBuf::new();
+        let old = buf.set_cap(2);
+        assert_eq!(old, FILL_BATCH);
+        let mut s = VecStream::new(vec![Slot::Compute(1); 10]);
+        assert_eq!(s.fill(&mut buf), 2);
+        buf.set_cap(old);
+        assert!(buf.has_room());
+        assert_eq!(s.fill(&mut buf), 8);
+    }
+
+    #[test]
+    fn default_fill_matches_next_slot_sequence() {
+        let slots = vec![
+            Slot::Compute(2),
+            Slot::Compute(2),
+            Slot::Load { addr: 128, pc: 0, dep: true },
+            Slot::Store { addr: 192, pc: 1 },
+            Slot::Compute(0),
+        ];
+        let mut via_next = VecStream::new(slots.clone());
+        let mut via_fill = VecStream::new(slots.clone());
+        let mut buf = SlotBuf::new();
+        assert_eq!(via_fill.fill(&mut buf), slots.len());
+        let expanded: Vec<Slot> = buf.iter_slots().collect();
+        let direct = collect_slots(&mut via_next, 100);
+        assert_eq!(expanded, direct);
+    }
+
+    #[test]
+    fn looping_fill_defers_restart_to_empty_buffer() {
+        let factory: Arc<dyn StreamFactory> = Arc::new(|_p: &StreamParams| {
+            Box::new(VecStream::new(vec![Slot::Compute(1), Slot::Compute(2)]))
+                as Box<dyn SlotStream>
+        });
+        let mut s = LoopingStream::new(factory, StreamParams::solo(0, 0));
+        // Each fill on an empty buffer hands out exactly one iteration's
+        // slots: the inner stream exhausts mid-buffer, and restarting
+        // right there would count an iteration whose slots the engine may
+        // never consume. The restart happens on the *next* empty-buffer
+        // fill, so `iterations()` still counts a restart exactly when its
+        // first slot is handed out for immediate consumption.
+        let mut buf = SlotBuf::new();
+        assert_eq!(s.fill(&mut buf), 2);
+        assert_eq!(s.iterations(), 0);
+        buf.clear();
+        assert_eq!(s.fill(&mut buf), 2);
+        assert_eq!(s.iterations(), 1, "restart deferred to the empty-buffer refill");
+        // A fill that drains the inner stream exactly at the sub-budget
+        // boundary likewise defers: no premature restart.
+        let mut buf3 = SlotBuf::new();
+        buf3.set_cap(7);
+        let mut s3 = LoopingStream::new(
+            Arc::new(|_p: &StreamParams| {
+                Box::new(VecStream::new(vec![Slot::Compute(3); 5])) as Box<dyn SlotStream>
+            }) as Arc<dyn StreamFactory>,
+            StreamParams::solo(0, 0),
+        );
+        assert_eq!(s3.fill(&mut buf3), 5, "partial batch, no premature restart");
+        assert_eq!(s3.iterations(), 0);
+    }
+
+    #[test]
+    fn looping_fill_idles_on_empty_inner_stream() {
+        let factory: Arc<dyn StreamFactory> = Arc::new(|_p: &StreamParams| {
+            Box::new(VecStream::new(vec![])) as Box<dyn SlotStream>
+        });
+        let mut s = LoopingStream::new(factory, StreamParams::solo(0, 0));
+        let mut buf = SlotBuf::new();
+        let pulled = s.fill(&mut buf);
+        assert_eq!(pulled, FILL_BATCH, "idle fill must make progress");
+        assert!(buf.iter_slots().all(|sl| sl == Slot::Compute(IDLE_BATCH)));
         assert_eq!(s.iterations(), 0, "empty rebuilds are not completed iterations");
     }
 

@@ -1,0 +1,75 @@
+//! Registry-wide batched-fill equivalence: every stream a registry
+//! factory can build must yield the same slot sequence through
+//! `SlotStream::fill` as through repeated `next_slot` calls, under
+//! adversarial refill budgets.
+//!
+//! `crates/trace/tests/batch.rs` proves this per generator with property
+//! sampling over constructor parameters; this sweep proves it for the
+//! *compositions* the 25 application models actually ship (chains,
+//! interleaves, barrier loops, per-thread shards), so a new workload
+//! wired from a hand-batched generator cannot silently resequence.
+
+use cochar_trace::{Slot, SlotBuf, StreamParams};
+use cochar_workloads::{Registry, Scale};
+
+/// Compares the first `limit` slots of two identically-built streams,
+/// one consumed slot by slot and one through `fill` with the given
+/// cycling budget schedule.
+fn assert_fill_matches_next(
+    next: &mut dyn cochar_trace::SlotStream,
+    fill: &mut dyn cochar_trace::SlotStream,
+    caps: &[usize],
+    limit: usize,
+    what: &str,
+) {
+    let mut expect = Vec::with_capacity(limit);
+    while expect.len() < limit {
+        match next.next_slot() {
+            Some(s) => expect.push(s),
+            None => break,
+        }
+    }
+    let mut got: Vec<Slot> = Vec::with_capacity(expect.len());
+    let mut buf = SlotBuf::new();
+    let mut cap_i = 0;
+    while got.len() < expect.len() {
+        buf.clear();
+        buf.set_cap(caps[cap_i % caps.len()]);
+        cap_i += 1;
+        let pulled = fill.fill(&mut buf);
+        let expanded: Vec<Slot> = buf.iter_slots().collect();
+        assert_eq!(pulled, expanded.len(), "{what}: fill return miscounted buffered slots");
+        if pulled == 0 {
+            assert!(fill.next_slot().is_none(), "{what}: fill returned 0 on a live stream");
+            break;
+        }
+        got.extend(expanded);
+    }
+    assert!(
+        got.len() >= expect.len().min(limit),
+        "{what}: fill ended after {} slots, next_slot produced {}",
+        got.len(),
+        expect.len()
+    );
+    got.truncate(expect.len());
+    assert_eq!(got, expect, "{what}: slot sequences diverged");
+}
+
+#[test]
+fn every_registry_stream_fill_matches_next() {
+    let reg = Registry::new(Scale::tiny());
+    // Budget schedules: per-slot refills, a group-splitting mixture, and
+    // whole-batch pulls (the engine's QUANTUM-paced steady state).
+    let schedules: [&[usize]; 3] = [&[1], &[7, 160, 3], &[4096]];
+    for spec in reg.all() {
+        for caps in schedules {
+            for (thread, threads, seed) in [(0, 1, 1u64), (1, 4, 0x5EED)] {
+                let params = StreamParams { thread, threads, base: 1 << 40, seed };
+                let mut next = spec.factory.build(&params);
+                let mut fill = spec.factory.build(&params);
+                let what = format!("{} t{thread}/{threads} seed={seed} caps={caps:?}", spec.name);
+                assert_fill_matches_next(&mut *next, &mut *fill, caps, 4096, &what);
+            }
+        }
+    }
+}

@@ -104,6 +104,26 @@ fn multithreaded_pair_is_byte_identical_across_engines() {
 }
 
 #[test]
+fn truncated_runs_are_byte_identical_across_engines() {
+    // A cycle cap that lands mid-quantum: the batched engine consumes
+    // slots in private QUANTUM-sized windows, so the cap must cut it off
+    // at exactly the architectural point where the per-slot reference
+    // stops — any over-consumption past the cap would leak into counters.
+    let reg = registry();
+    let mut cfg = MachineConfig::tiny();
+    cfg.max_cycles = 61_337;
+    for name in ["mcf", "fotonik3d"] {
+        let spec = reg.get(name).unwrap();
+        let apps = vec![app(spec, Role::Foreground, FG_BASE, 11, 1)];
+        let out = Machine::new(cfg.clone()).run(&apps);
+        assert!(out.truncated, "cap must actually truncate {name}");
+        let fast = render(&cfg, &apps, false);
+        let slow = render(&cfg, &apps, true);
+        assert_eq!(fast, slow, "truncated {name} diverged between engines");
+    }
+}
+
+#[test]
 fn prefetcher_off_runs_are_byte_identical_across_engines() {
     // MSR all-off drives different cache/inflight traffic mixes.
     let reg = registry();
